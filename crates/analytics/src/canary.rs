@@ -1,0 +1,170 @@
+//! Canary-based degradation detection (AI4IO's "PRIONN canary" idea,
+//! paper §VIII): a tiny periodic probe measures achieved file-system
+//! throughput; a sustained drop below the learned baseline flags an
+//! intermittent degradation event, which a scheduler can react to (e.g.
+//! by tightening the throughput limit).
+//!
+//! The detector is measurement-agnostic: the host runs the probe (a small
+//! write on the real or simulated file system) and feeds the achieved
+//! rate into [`CanaryDetector::record`].
+
+use iosched_simkit::stats::median;
+use iosched_simkit::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Detector configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CanaryConfig {
+    /// Number of recent probes the verdict is computed over.
+    pub window: usize,
+    /// Number of initial probes used to learn the healthy baseline.
+    pub baseline_probes: usize,
+    /// Degradation threshold: flagged when the recent median falls below
+    /// `threshold_fraction × baseline` (e.g. 0.5).
+    pub threshold_fraction: f64,
+}
+
+impl Default for CanaryConfig {
+    fn default() -> Self {
+        CanaryConfig {
+            window: 5,
+            baseline_probes: 10,
+            threshold_fraction: 0.5,
+        }
+    }
+}
+
+/// State of the detector.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CanaryDetector {
+    cfg: CanaryConfig,
+    baseline_samples: Vec<f64>,
+    baseline: Option<f64>,
+    recent: VecDeque<f64>,
+    /// Time of the probe that first crossed into degradation, if
+    /// currently degraded.
+    degraded_since: Option<SimTime>,
+}
+
+impl CanaryDetector {
+    /// New detector; the first [`CanaryConfig::baseline_probes`] probes
+    /// establish the healthy baseline.
+    pub fn new(cfg: CanaryConfig) -> Self {
+        assert!(cfg.window >= 1, "window must be at least 1");
+        assert!(cfg.baseline_probes >= 1, "need baseline probes");
+        assert!(
+            (0.0..1.0).contains(&cfg.threshold_fraction),
+            "threshold fraction in [0, 1)"
+        );
+        CanaryDetector {
+            cfg,
+            baseline_samples: Vec::new(),
+            baseline: None,
+            recent: VecDeque::new(),
+            degraded_since: None,
+        }
+    }
+
+    /// Feed one probe result (achieved throughput, bytes/s). Returns the
+    /// updated verdict.
+    pub fn record(&mut self, t: SimTime, achieved_bps: f64) -> bool {
+        let achieved_bps = achieved_bps.max(0.0);
+        if self.baseline.is_none() {
+            self.baseline_samples.push(achieved_bps);
+            if self.baseline_samples.len() >= self.cfg.baseline_probes {
+                self.baseline = Some(median(&self.baseline_samples).expect("non-empty"));
+            }
+            return false;
+        }
+        if self.recent.len() == self.cfg.window {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(achieved_bps);
+        let recent: Vec<f64> = self.recent.iter().copied().collect();
+        let degraded = self.recent.len() == self.cfg.window
+            && median(&recent).expect("non-empty")
+                < self.cfg.threshold_fraction * self.baseline.expect("baseline set");
+        match (degraded, self.degraded_since) {
+            (true, None) => self.degraded_since = Some(t),
+            (false, Some(_)) => self.degraded_since = None,
+            _ => {}
+        }
+        degraded
+    }
+
+    /// Learned healthy baseline (None until enough probes).
+    pub fn baseline_bps(&self) -> Option<f64> {
+        self.baseline
+    }
+
+    /// Whether the file system is currently flagged as degraded, and
+    /// since when.
+    pub fn degraded_since(&self) -> Option<SimTime> {
+        self.degraded_since
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn learns_baseline_then_detects_and_clears() {
+        let mut c = CanaryDetector::new(CanaryConfig {
+            window: 3,
+            baseline_probes: 4,
+            threshold_fraction: 0.5,
+        });
+        // Baseline phase: no verdicts.
+        for i in 0..4 {
+            assert!(!c.record(t(i), 100.0));
+        }
+        assert_eq!(c.baseline_bps(), Some(100.0));
+        // Healthy probes: still fine.
+        for i in 4..8 {
+            assert!(!c.record(t(i), 95.0));
+        }
+        // Degradation: once low probes hold the window median down.
+        // Window after t=8: [95, 95, 30] → median 95, still healthy.
+        assert!(!c.record(t(8), 30.0));
+        // Window after t=9: [95, 30, 30] → median 30 < 50: flagged.
+        assert!(c.record(t(9), 30.0));
+        assert!(c.record(t(10), 30.0));
+        assert_eq!(c.degraded_since(), Some(t(9)));
+        // Recovery clears the flag.
+        c.record(t(11), 100.0);
+        c.record(t(12), 100.0);
+        assert!(!c.record(t(13), 100.0));
+        assert_eq!(c.degraded_since(), None);
+    }
+
+    #[test]
+    fn single_outlier_does_not_trip_the_median() {
+        let mut c = CanaryDetector::new(CanaryConfig {
+            window: 3,
+            baseline_probes: 2,
+            threshold_fraction: 0.5,
+        });
+        c.record(t(0), 100.0);
+        c.record(t(1), 100.0);
+        assert!(!c.record(t(2), 10.0)); // outlier
+        assert!(!c.record(t(3), 100.0));
+        assert!(!c.record(t(4), 100.0));
+        assert_eq!(c.degraded_since(), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_threshold_panics() {
+        CanaryDetector::new(CanaryConfig {
+            window: 1,
+            baseline_probes: 1,
+            threshold_fraction: 1.0,
+        });
+    }
+}

@@ -1,0 +1,171 @@
+//! Decaying-average estimator of per-job-type resource requirements.
+
+use iosched_simkit::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Estimated resource requirements of a job (the paper's `r_j`, `d_j`).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JobEstimate {
+    /// Estimated average Lustre throughput over the job's runtime,
+    /// bytes/s.
+    pub throughput_bps: f64,
+    /// Estimated runtime.
+    pub runtime: SimDuration,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct State {
+    throughput_bps: f64,
+    runtime_secs: f64,
+    observations: u64,
+}
+
+/// Exponentially-decaying weighted average of historical usage, keyed by
+/// job name ("similar jobs"). A new observation contributes weight `alpha`
+/// and the accumulated history `1 − alpha`, so recent jobs dominate —
+/// which is what lets the estimates track congestion-dependent throughput
+/// (paper §VI: the estimate falls as the file system congests, admitting
+/// more jobs, until the loop stabilises).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JobEstimator {
+    alpha: f64,
+    table: BTreeMap<String, State>,
+}
+
+impl JobEstimator {
+    /// `alpha ∈ (0, 1]` is the weight of the newest observation.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0, 1], got {alpha}"
+        );
+        JobEstimator {
+            alpha,
+            table: BTreeMap::new(),
+        }
+    }
+
+    /// The paper's prototype behaviour: recent jobs count substantially
+    /// more than old ones.
+    pub fn with_default_decay() -> Self {
+        JobEstimator::new(0.5)
+    }
+
+    /// Fold in a completed job's measured usage.
+    pub fn observe(&mut self, name: &str, throughput_bps: f64, runtime: SimDuration) {
+        let throughput_bps = throughput_bps.max(0.0);
+        let runtime_secs = runtime.as_secs_f64();
+        match self.table.get_mut(name) {
+            Some(s) => {
+                s.throughput_bps =
+                    (1.0 - self.alpha) * s.throughput_bps + self.alpha * throughput_bps;
+                s.runtime_secs =
+                    (1.0 - self.alpha) * s.runtime_secs + self.alpha * runtime_secs;
+                s.observations += 1;
+            }
+            None => {
+                self.table.insert(
+                    name.to_string(),
+                    State {
+                        throughput_bps,
+                        runtime_secs,
+                        observations: 1,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Current estimate for a job name, if any history exists.
+    pub fn estimate(&self, name: &str) -> Option<JobEstimate> {
+        self.table.get(name).map(|s| JobEstimate {
+            throughput_bps: s.throughput_bps,
+            runtime: SimDuration::from_secs_f64(s.runtime_secs),
+        })
+    }
+
+    /// Number of observations folded into a name's estimate.
+    pub fn observation_count(&self, name: &str) -> u64 {
+        self.table.get(name).map_or(0, |s| s.observations)
+    }
+
+    /// Forget everything (an "untrained" estimator).
+    pub fn clear(&mut self) {
+        self.table.clear();
+    }
+
+    /// Job names with estimates.
+    pub fn known_names(&self) -> impl Iterator<Item = &str> {
+        self.table.keys().map(|s| s.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_name_has_no_estimate() {
+        let e = JobEstimator::with_default_decay();
+        assert_eq!(e.estimate("w8"), None);
+        assert_eq!(e.observation_count("w8"), 0);
+    }
+
+    #[test]
+    fn first_observation_is_taken_verbatim() {
+        let mut e = JobEstimator::new(0.5);
+        e.observe("w8", 100.0, SimDuration::from_secs(40));
+        let est = e.estimate("w8").unwrap();
+        assert_eq!(est.throughput_bps, 100.0);
+        assert_eq!(est.runtime, SimDuration::from_secs(40));
+    }
+
+    #[test]
+    fn ema_tracks_recent_observations() {
+        let mut e = JobEstimator::new(0.5);
+        e.observe("w8", 100.0, SimDuration::from_secs(40));
+        e.observe("w8", 50.0, SimDuration::from_secs(80));
+        let est = e.estimate("w8").unwrap();
+        assert!((est.throughput_bps - 75.0).abs() < 1e-9);
+        assert!((est.runtime.as_secs_f64() - 60.0).abs() < 1e-3);
+        assert_eq!(e.observation_count("w8"), 2);
+        // Convergence toward a persistent new level.
+        for _ in 0..20 {
+            e.observe("w8", 10.0, SimDuration::from_secs(10));
+        }
+        let est = e.estimate("w8").unwrap();
+        assert!((est.throughput_bps - 10.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn names_are_independent() {
+        let mut e = JobEstimator::new(0.5);
+        e.observe("w8", 100.0, SimDuration::from_secs(40));
+        e.observe("sleep", 0.0, SimDuration::from_secs(600));
+        assert_eq!(e.estimate("sleep").unwrap().throughput_bps, 0.0);
+        assert_eq!(e.estimate("w8").unwrap().throughput_bps, 100.0);
+        assert_eq!(e.known_names().count(), 2);
+    }
+
+    #[test]
+    fn clear_forgets() {
+        let mut e = JobEstimator::new(0.5);
+        e.observe("w8", 100.0, SimDuration::from_secs(40));
+        e.clear();
+        assert_eq!(e.estimate("w8"), None);
+    }
+
+    #[test]
+    fn negative_throughput_clamped() {
+        let mut e = JobEstimator::new(1.0);
+        e.observe("x", -5.0, SimDuration::from_secs(1));
+        assert_eq!(e.estimate("x").unwrap().throughput_bps, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_alpha_panics() {
+        JobEstimator::new(0.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! The prediction seam.
+//!
+//! Paper §III: "various prediction methods discussed in existing
+//! literature can seamlessly integrate into our framework". The
+//! [`Predictor`] trait is that integration point; the service works with
+//! any implementation. Two are provided:
+//!
+//! * [`crate::estimator::JobEstimator`] — the paper prototype's
+//!   exponentially-decaying weighted average;
+//! * [`WindowedQuantilePredictor`] — a percentile-over-recent-history
+//!   predictor in the spirit of percentile-based runtime predictors from
+//!   the literature (robust to outlier runs).
+
+use crate::estimator::{JobEstimate, JobEstimator};
+use iosched_simkit::stats::quantile;
+use iosched_simkit::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// A per-job-type resource predictor.
+pub trait Predictor {
+    /// Fold in a finished job's measured usage.
+    fn observe(&mut self, name: &str, throughput_bps: f64, runtime: SimDuration);
+    /// Current prediction for a job name, if any history exists.
+    fn predict(&self, name: &str) -> Option<JobEstimate>;
+    /// Forget all history.
+    fn clear(&mut self);
+}
+
+impl Predictor for JobEstimator {
+    fn observe(&mut self, name: &str, throughput_bps: f64, runtime: SimDuration) {
+        JobEstimator::observe(self, name, throughput_bps, runtime);
+    }
+
+    fn predict(&self, name: &str) -> Option<JobEstimate> {
+        self.estimate(name)
+    }
+
+    fn clear(&mut self) {
+        JobEstimator::clear(self);
+    }
+}
+
+/// Predicts the `quantile`-th percentile of the last `window`
+/// observations per job name.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WindowedQuantilePredictor {
+    window: usize,
+    q: f64,
+    history: BTreeMap<String, VecDeque<(f64, f64)>>, // (throughput, runtime_s)
+}
+
+impl WindowedQuantilePredictor {
+    /// `window ≥ 1` observations kept per name; `q ∈ [0, 1]`.
+    pub fn new(window: usize, q: f64) -> Self {
+        assert!(window >= 1, "window must be at least 1");
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        WindowedQuantilePredictor {
+            window,
+            q,
+            history: BTreeMap::new(),
+        }
+    }
+}
+
+impl Predictor for WindowedQuantilePredictor {
+    fn observe(&mut self, name: &str, throughput_bps: f64, runtime: SimDuration) {
+        let h = self.history.entry(name.to_string()).or_default();
+        if h.len() == self.window {
+            h.pop_front();
+        }
+        h.push_back((throughput_bps.max(0.0), runtime.as_secs_f64()));
+    }
+
+    fn predict(&self, name: &str) -> Option<JobEstimate> {
+        let h = self.history.get(name)?;
+        let thr: Vec<f64> = h.iter().map(|&(t, _)| t).collect();
+        let dur: Vec<f64> = h.iter().map(|&(_, d)| d).collect();
+        Some(JobEstimate {
+            throughput_bps: quantile(&thr, self.q)?,
+            runtime: SimDuration::from_secs_f64(quantile(&dur, self.q)?),
+        })
+    }
+
+    fn clear(&mut self) {
+        self.history.clear();
+    }
+}
+
+/// Which predictor the analytics service uses.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum PredictorKind {
+    /// The paper prototype's decaying average; `alpha` is the weight of
+    /// the newest observation.
+    DecayingAverage { alpha: f64 },
+    /// Percentile over a sliding window of recent observations.
+    WindowedQuantile { window: usize, quantile: f64 },
+}
+
+impl Default for PredictorKind {
+    fn default() -> Self {
+        PredictorKind::DecayingAverage { alpha: 0.5 }
+    }
+}
+
+impl PredictorKind {
+    /// Instantiate the predictor.
+    pub fn build(self) -> Box<dyn Predictor + Send> {
+        match self {
+            PredictorKind::DecayingAverage { alpha } => Box::new(JobEstimator::new(alpha)),
+            PredictorKind::WindowedQuantile { window, quantile } => {
+                Box::new(WindowedQuantilePredictor::new(window, quantile))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ema_through_the_trait() {
+        let mut p: Box<dyn Predictor + Send> =
+            PredictorKind::DecayingAverage { alpha: 0.5 }.build();
+        p.observe("w8", 100.0, SimDuration::from_secs(40));
+        p.observe("w8", 50.0, SimDuration::from_secs(80));
+        let est = p.predict("w8").unwrap();
+        assert!((est.throughput_bps - 75.0).abs() < 1e-9);
+        p.clear();
+        assert!(p.predict("w8").is_none());
+    }
+
+    #[test]
+    fn windowed_quantile_is_robust_to_one_outlier() {
+        let mut p = WindowedQuantilePredictor::new(5, 0.5);
+        for _ in 0..4 {
+            p.observe("w8", 100.0, SimDuration::from_secs(60));
+        }
+        p.observe("w8", 10_000.0, SimDuration::from_secs(6000)); // outlier
+        let est = p.predict("w8").unwrap();
+        assert_eq!(est.throughput_bps, 100.0);
+        assert_eq!(est.runtime, SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn window_evicts_old_observations() {
+        let mut p = WindowedQuantilePredictor::new(2, 1.0); // max of last 2
+        p.observe("x", 1.0, SimDuration::from_secs(1));
+        p.observe("x", 2.0, SimDuration::from_secs(2));
+        p.observe("x", 3.0, SimDuration::from_secs(3));
+        let est = p.predict("x").unwrap();
+        assert_eq!(est.throughput_bps, 3.0); // the 1.0 was evicted
+        assert!(p.predict("y").is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_window_panics() {
+        WindowedQuantilePredictor::new(0, 0.5);
+    }
+}

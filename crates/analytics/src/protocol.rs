@@ -1,0 +1,142 @@
+//! Request/response protocol between the scheduler and the analytics.
+//!
+//! In the prototype the Slurm plugin talks to the analytical services over
+//! a socket at the start of every scheduling round (paper Fig. 2). The
+//! simulation keeps the message types — useful both as documentation of
+//! the interface and for tests that exercise the service through the same
+//! seam the scheduler uses — while transport is a direct call.
+
+use crate::service::AnalyticsService;
+use iosched_ldms::LdmsDaemon;
+use iosched_simkit::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A request the scheduler sends at the beginning of a scheduling round.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Predicted requirements for one job.
+    JobEstimate {
+        name: String,
+        requested_limit: SimDuration,
+    },
+    /// Measured current total file-system throughput.
+    CurrentLoad { now: SimTime },
+    /// Notification: a job completed (triggers estimate refresh).
+    JobCompleted {
+        job_id: u64,
+        name: String,
+        started: SimTime,
+        ended: SimTime,
+    },
+}
+
+/// Response to a [`Request`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    JobEstimate {
+        throughput_bps: f64,
+        runtime: SimDuration,
+    },
+    CurrentLoad { total_bps: f64 },
+    Ack,
+}
+
+/// Dispatch a request against the service (the "RPC server" loop body).
+pub fn handle(
+    svc: &mut AnalyticsService,
+    daemon: &LdmsDaemon,
+    request: Request,
+) -> Response {
+    match request {
+        Request::JobEstimate {
+            name,
+            requested_limit,
+        } => {
+            let est = svc.job_estimate(&name, requested_limit);
+            Response::JobEstimate {
+                throughput_bps: est.throughput_bps,
+                runtime: est.runtime,
+            }
+        }
+        Request::CurrentLoad { now } => Response::CurrentLoad {
+            total_bps: svc.current_load_bps(daemon, now),
+        },
+        Request::JobCompleted {
+            job_id,
+            name,
+            started,
+            ended,
+        } => {
+            svc.on_job_complete(daemon, job_id, &name, started, ended);
+            Response::Ack
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rpc_round_trip() {
+        let mut daemon = LdmsDaemon::new(SimDuration::from_secs(1));
+        for s in 0..5 {
+            daemon.sample(SimTime::from_secs(s), 100.0, &[(3, 100.0)], 1);
+        }
+        let mut svc = AnalyticsService::untrained();
+
+        // Cold estimate.
+        let resp = handle(
+            &mut svc,
+            &daemon,
+            Request::JobEstimate {
+                name: "w8".into(),
+                requested_limit: SimDuration::from_secs(100),
+            },
+        );
+        assert_eq!(
+            resp,
+            Response::JobEstimate {
+                throughput_bps: 0.0,
+                runtime: SimDuration::from_secs(100)
+            }
+        );
+
+        // Completion then warm estimate.
+        let resp = handle(
+            &mut svc,
+            &daemon,
+            Request::JobCompleted {
+                job_id: 3,
+                name: "w8".into(),
+                started: SimTime::ZERO,
+                ended: SimTime::from_secs(5),
+            },
+        );
+        assert_eq!(resp, Response::Ack);
+        let resp = handle(
+            &mut svc,
+            &daemon,
+            Request::JobEstimate {
+                name: "w8".into(),
+                requested_limit: SimDuration::from_secs(100),
+            },
+        );
+        match resp {
+            Response::JobEstimate { throughput_bps, .. } => {
+                assert!((throughput_bps - 100.0).abs() < 1e-6)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Current load.
+        let resp = handle(
+            &mut svc,
+            &daemon,
+            Request::CurrentLoad {
+                now: SimTime::from_secs(4),
+            },
+        );
+        assert_eq!(resp, Response::CurrentLoad { total_bps: 100.0 });
+    }
+}

@@ -1,0 +1,96 @@
+//! Bench target for **Fig. 5** (Workload 2): a scaled-down wave of the
+//! six-job-type mix under each scheduler configuration. Prints the
+//! makespan rows; the full-size experiment is the `fig5` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iosched_cluster::ExecSpec;
+use iosched_experiments::driver::{run_experiment, ExperimentConfig, SchedulerKind};
+use iosched_simkit::time::SimDuration;
+use iosched_simkit::units::{gib, gibps};
+use iosched_workloads::{JobSubmission, WorkloadBuilder};
+use std::hint::black_box;
+
+/// One scaled Workload-2 wave: the paper's mix at a third of the counts
+/// with full-size volumes (congestion dynamics intact).
+fn scaled_wave() -> Vec<JobSubmission> {
+    let limit = SimDuration::from_secs(3600);
+    let vol = gib(10.0);
+    WorkloadBuilder::new()
+        .batch(10, "write_x8", ExecSpec::write_xn(8, vol), limit)
+        .batch(10, "write_x6", ExecSpec::write_xn(6, vol), limit)
+        .batch(10, "write_x4", ExecSpec::write_xn(4, vol), limit)
+        .batch(23, "write_x2", ExecSpec::write_xn(2, vol), limit)
+        .batch(40, "write_x1", ExecSpec::write_xn(1, vol), limit)
+        .batch(
+            10,
+            "sleep",
+            ExecSpec::sleep(SimDuration::from_secs(300)),
+            SimDuration::from_secs(400),
+        )
+        .build()
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let workload = scaled_wave();
+    let mut group = c.benchmark_group("fig5_workload2");
+    group.sample_size(10);
+
+    let panels: Vec<(&str, SchedulerKind)> = vec![
+        ("a_default", SchedulerKind::DefaultBackfill),
+        (
+            "b_ioaware20",
+            SchedulerKind::IoAware {
+                limit_bps: gibps(20.0),
+            },
+        ),
+        (
+            "c_ioaware15",
+            SchedulerKind::IoAware {
+                limit_bps: gibps(15.0),
+            },
+        ),
+        (
+            "d_adaptive20",
+            SchedulerKind::Adaptive {
+                limit_bps: gibps(20.0),
+                two_group: true,
+            },
+        ),
+        (
+            "e_adaptive15",
+            SchedulerKind::Adaptive {
+                limit_bps: gibps(15.0),
+                two_group: true,
+            },
+        ),
+    ];
+
+    let mut base = None;
+    for (tag, kind) in &panels {
+        let cfg = ExperimentConfig::paper(*kind, 42);
+        let res = run_experiment(&cfg, &workload);
+        match base {
+            None => {
+                base = Some(res.makespan_secs);
+                println!("fig5 {tag}: makespan {:.0} s (baseline)", res.makespan_secs);
+            }
+            Some(b) => println!(
+                "fig5 {tag}: makespan {:.0} s ({:+.1}% vs default)",
+                res.makespan_secs,
+                100.0 * (b - res.makespan_secs) / b
+            ),
+        }
+    }
+
+    for (tag, kind) in panels {
+        let cfg = ExperimentConfig::paper(kind, 42);
+        let workload = workload.clone();
+        group.bench_function(tag, |b| {
+            b.iter(|| black_box(run_experiment(&cfg, &workload).makespan_secs))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Bench target for **Fig. 6**: a multi-seed campaign over the scaled
+//! Workload-2 wave, printing median improvements (the figure's headline
+//! rows) and benchmarking one campaign run per scheduler.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iosched_cluster::ExecSpec;
+use iosched_experiments::campaign::run_campaign;
+use iosched_experiments::driver::{ExperimentConfig, SchedulerKind};
+use iosched_simkit::time::SimDuration;
+use iosched_simkit::units::{gib, gibps};
+use iosched_workloads::{JobSubmission, WorkloadBuilder};
+use std::hint::black_box;
+
+fn scaled_wave() -> Vec<JobSubmission> {
+    let limit = SimDuration::from_secs(3600);
+    let vol = gib(10.0);
+    WorkloadBuilder::new()
+        .batch(10, "write_x8", ExecSpec::write_xn(8, vol), limit)
+        .batch(10, "write_x6", ExecSpec::write_xn(6, vol), limit)
+        .batch(23, "write_x2", ExecSpec::write_xn(2, vol), limit)
+        .batch(40, "write_x1", ExecSpec::write_xn(1, vol), limit)
+        .batch(
+            10,
+            "sleep",
+            ExecSpec::sleep(SimDuration::from_secs(300)),
+            SimDuration::from_secs(400),
+        )
+        .build()
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let workload = scaled_wave();
+    let seeds: Vec<u64> = (0..3).map(|i| 1000 + i * 17).collect();
+
+    let configs = vec![
+        SchedulerKind::DefaultBackfill,
+        SchedulerKind::IoAware {
+            limit_bps: gibps(15.0),
+        },
+        SchedulerKind::Adaptive {
+            limit_bps: gibps(20.0),
+            two_group: true,
+        },
+    ];
+
+    // Print the medians once (the figure's summary rows).
+    let mut base = None;
+    for kind in &configs {
+        let camp = run_campaign(&ExperimentConfig::paper(*kind, 0), &workload, &seeds);
+        let med = camp.median_makespan_secs();
+        match base {
+            None => {
+                base = Some(med);
+                println!("fig6 {}: median {med:.0} s (baseline)", camp.label);
+            }
+            Some(b) => println!(
+                "fig6 {}: median {med:.0} s ({:+.1}% vs default)",
+                camp.label,
+                100.0 * (b - med) / b
+            ),
+        }
+    }
+
+    let mut group = c.benchmark_group("fig6_campaign");
+    group.sample_size(10);
+    for kind in configs {
+        let cfg = ExperimentConfig::paper(kind, 0);
+        let workload = workload.clone();
+        let seeds = seeds.clone();
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                black_box(
+                    run_campaign(&cfg, &workload, &seeds).median_makespan_secs(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Criterion benchmark crate: every paper figure has a bench target in
+//! `benches/` (scaled-down workloads so `cargo bench` completes quickly),
+//! plus microbenchmarks of the scheduler hot path. Full-size experiments
+//! are the `iosched-experiments` binaries.

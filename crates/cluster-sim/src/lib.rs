@@ -1,0 +1,21 @@
+//! Compute-cluster simulation.
+//!
+//! Replaces the 15 compute nodes of the paper's Stria testbed. The crate
+//! models node allocation and job *execution* (what happens after the
+//! scheduler starts a job): jobs run a sequence of phases — idle sleeps,
+//! fixed compute intervals, and parallel writes to the Lustre model — and
+//! complete when their last phase ends. The write phases are exactly the
+//! paper's workload jobs: `N` threads per node, each writing a fixed
+//! volume to a randomly chosen Lustre volume, the job finishing when its
+//! slowest thread finishes.
+//!
+//! Scheduling *decisions* live elsewhere (`iosched-slurm`, `iosched-core`);
+//! this crate only answers "what does the cluster do once a job starts".
+
+pub mod job;
+pub mod node;
+pub mod sim;
+
+pub use job::{ExecSpec, JobId, Phase};
+pub use node::NodeSet;
+pub use sim::{ClusterSim, JobCompletion};

@@ -1,0 +1,97 @@
+//! Node allocation bookkeeping.
+
+use std::collections::BTreeSet;
+
+/// The cluster's compute nodes. Allocation is deterministic (lowest free
+/// indices first) so simulation runs are reproducible.
+#[derive(Clone, Debug)]
+pub struct NodeSet {
+    total: usize,
+    free: BTreeSet<usize>,
+}
+
+impl NodeSet {
+    /// A cluster with `total` nodes, all free.
+    pub fn new(total: usize) -> Self {
+        NodeSet {
+            total,
+            free: (0..total).collect(),
+        }
+    }
+
+    /// Total number of nodes.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Number of free nodes.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Number of allocated nodes.
+    pub fn busy_count(&self) -> usize {
+        self.total - self.free.len()
+    }
+
+    /// Allocate `n` nodes; `None` if not enough are free.
+    pub fn alloc(&mut self, n: usize) -> Option<Vec<usize>> {
+        if n > self.free.len() {
+            return None;
+        }
+        let picked: Vec<usize> = self.free.iter().take(n).copied().collect();
+        for &p in &picked {
+            self.free.remove(&p);
+        }
+        Some(picked)
+    }
+
+    /// Return nodes to the free pool.
+    ///
+    /// # Panics
+    /// Panics if a node is out of range or already free (double free).
+    pub fn release(&mut self, nodes: &[usize]) {
+        for &n in nodes {
+            assert!(n < self.total, "node {n} out of range");
+            assert!(self.free.insert(n), "double free of node {n}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_release_cycle() {
+        let mut ns = NodeSet::new(4);
+        assert_eq!(ns.total(), 4);
+        assert_eq!(ns.free_count(), 4);
+        let a = ns.alloc(3).unwrap();
+        assert_eq!(a, vec![0, 1, 2]);
+        assert_eq!(ns.busy_count(), 3);
+        assert!(ns.alloc(2).is_none());
+        let b = ns.alloc(1).unwrap();
+        assert_eq!(b, vec![3]);
+        ns.release(&a);
+        assert_eq!(ns.free_count(), 3);
+        // Reallocation reuses lowest indices deterministically.
+        assert_eq!(ns.alloc(2).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_free_panics() {
+        let mut ns = NodeSet::new(2);
+        let a = ns.alloc(1).unwrap();
+        ns.release(&a);
+        ns.release(&a);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_release_panics() {
+        let mut ns = NodeSet::new(2);
+        ns.release(&[5]);
+    }
+}

@@ -1,0 +1,221 @@
+//! Ablation studies for the design choices called out in DESIGN.md:
+//!
+//! 1. **two-group vs naïve adaptive** on a sleep-poor workload — the
+//!    idle-node mechanism of paper §VII-A;
+//! 2. **QoS fraction sweep** for the Eq. (2) threshold;
+//! 3. **`BackfillMax` sweep** (EASY ↔ full reservation tracking);
+//! 4. **fatigue on/off** — §IX's claim that the adaptive win requires a
+//!    concave throughput/load relationship (without sustained congestion
+//!    collapse the schedulers converge).
+//!
+//! Usage: `cargo run --release -p iosched-experiments --bin ablations`
+
+use iosched_cluster::ExecSpec;
+use iosched_experiments::driver::{run_experiment, ExperimentConfig, SchedulerKind};
+use iosched_lustre::LustreConfig;
+use iosched_simkit::time::SimDuration;
+use iosched_simkit::units::{gib, gibps};
+use iosched_workloads::{JobSubmission, WorkloadBuilder};
+
+/// Sleep-poor workload: mostly light writers, few true sleeps — the
+/// regime where the naïve adaptive scheduler idles nodes (paper §VII-A).
+fn sleep_poor() -> Vec<JobSubmission> {
+    WorkloadBuilder::new()
+        .waves(3, |b| {
+            b.batch(
+                10,
+                "write_x8",
+                ExecSpec::write_xn(8, gib(10.0)),
+                SimDuration::from_secs(3600),
+            )
+            .batch(
+                30,
+                "write_x1",
+                ExecSpec::write_xn(1, gib(10.0)),
+                SimDuration::from_secs(3600),
+            )
+            .batch(
+                5,
+                "sleep",
+                ExecSpec::sleep(SimDuration::from_secs(300)),
+                SimDuration::from_secs(400),
+            )
+        })
+        .build()
+}
+
+fn run(cfg: &ExperimentConfig, w: &[JobSubmission]) -> f64 {
+    run_experiment(cfg, w).makespan_secs
+}
+
+fn main() {
+    let w = sleep_poor();
+    let seed = 42;
+
+    // ── 1. two-group vs naïve ──
+    println!("── ablation 1: two-group approximation (sleep-poor workload) ──");
+    let naive = run(
+        &ExperimentConfig::paper(
+            SchedulerKind::Adaptive {
+                limit_bps: gibps(20.0),
+                two_group: false,
+            },
+            seed,
+        ),
+        &w,
+    );
+    let two_group = run(
+        &ExperimentConfig::paper(
+            SchedulerKind::Adaptive {
+                limit_bps: gibps(20.0),
+                two_group: true,
+            },
+            seed,
+        ),
+        &w,
+    );
+    println!("  naïve adaptive:     {naive:>8.0} s");
+    println!(
+        "  two-group adaptive: {two_group:>8.0} s  ({:+.1}%)\n",
+        100.0 * (naive - two_group) / naive
+    );
+
+    // ── 2. QoS fraction sweep (Eq. 2 threshold) ──
+    println!("── ablation 2: QoS fraction r* sweep (adaptive, two-group) ──");
+    for qos in [0.25, 0.5, 0.75, 0.9] {
+        let mut cfg = ExperimentConfig::paper(
+            SchedulerKind::Adaptive {
+                limit_bps: gibps(20.0),
+                two_group: true,
+            },
+            seed,
+        );
+        cfg.qos_fraction = qos;
+        let m = run(&cfg, &w);
+        println!("  qos {qos:>4.2}: {m:>8.0} s");
+    }
+    println!();
+
+    // ── 3. BackfillMax sweep ──
+    println!("── ablation 3: BackfillMax (default scheduler) ──");
+    for bf in [1usize, 8, usize::MAX] {
+        let mut cfg = ExperimentConfig::paper(SchedulerKind::DefaultBackfill, seed);
+        cfg.backfill_max = bf;
+        let m = run(&cfg, &w);
+        let label = if bf == usize::MAX {
+            "∞ (Slurm default)".to_string()
+        } else {
+            bf.to_string()
+        };
+        println!("  BackfillMax {label:>18}: {m:>8.0} s");
+    }
+    println!();
+
+    // ── 4. fatigue on/off ──
+    println!("── ablation 4: does the adaptive win need congestion collapse? ──");
+    for (tag, fs) in [
+        ("fatigue on (calibrated)", LustreConfig::stria()),
+        ("fatigue off (ideal fs)", LustreConfig::stria().without_fatigue()),
+    ] {
+        let mut d = ExperimentConfig::paper(SchedulerKind::DefaultBackfill, seed);
+        d.fs = fs.clone();
+        let mut a = ExperimentConfig::paper(
+            SchedulerKind::Adaptive {
+                limit_bps: gibps(20.0),
+                two_group: true,
+            },
+            seed,
+        );
+        a.fs = fs;
+        let (dm, am) = (run(&d, &w), run(&a, &w));
+        println!(
+            "  {tag:<26} default {dm:>8.0} s | adaptive {am:>8.0} s | gain {:+.1}%",
+            100.0 * (dm - am) / dm
+        );
+    }
+    println!("\n(paper §IX: the workload-adaptive scheduler helps when the");
+    println!(" throughput/load relationship is concave; with an ideal file");
+    println!(" system the schedulers converge and the gain collapses.)\n");
+
+    // ── 5. dot-product packing (§VIII comparator) ──
+    println!("── ablation 5: TETRIS-style dot-product packing vs backfill ──");
+    // The paper's §VIII point: order-free packing "requires resource
+    // reservations and backfill to enforce job priorities". Scenario: a
+    // deep stream of staggered narrow jobs keeps the cluster busy; two
+    // HIGH-PRIORITY full-width jobs arrive at t = 30 s. Priority-ordered
+    // backfill reserves the whole machine for them (narrows drain);
+    // packing has no notion of order and never opens a 15-node hole
+    // until the narrow queue is exhausted.
+    let mut builder = WorkloadBuilder::new();
+    for (i, dur) in [60u64, 80, 100, 120, 140].iter().enumerate() {
+        builder = builder.batch(
+            12,
+            &format!("narrow{i}"),
+            ExecSpec::sleep(SimDuration::from_secs(*dur)),
+            SimDuration::from_secs(dur + 20),
+        );
+    }
+    let wide = builder
+        .at(iosched_simkit::time::SimTime::from_secs(30))
+        .priority(10)
+        .batch(
+            2,
+            "wide_urgent",
+            ExecSpec {
+                nodes: 15,
+                phases: vec![iosched_cluster::Phase::Compute(SimDuration::from_secs(120))],
+            },
+            SimDuration::from_secs(150),
+        )
+        .build();
+    for kind in [
+        SchedulerKind::DefaultBackfill,
+        SchedulerKind::Packing {
+            limit_bps: gibps(20.0),
+        },
+    ] {
+        let mut cfg = ExperimentConfig::paper(kind, seed);
+        cfg.priority_policy = iosched_slurm::PriorityPolicy::Priority;
+        let res = run_experiment(&cfg, &wide);
+        let wide_wait: f64 = res
+            .jobs
+            .iter()
+            .filter(|j| j.name == "wide_urgent")
+            .map(|j| j.wait().as_secs_f64())
+            .sum::<f64>()
+            / 2.0;
+        println!(
+            "  {:<12} makespan {:>7.0} s | mean urgent-wide wait {:>7.0} s",
+            res.label, res.makespan_secs, wide_wait
+        );
+    }
+    println!("  (backfill + reservations enforce the priority; order-free packing");
+    println!("   starves the urgent wide jobs until the narrow queue drains —");
+    println!("   the paper's §VIII argument against packing schedulers in HPC.)\n");
+
+    // ── 6. burst buffers vs workload-adaptive scheduling ──
+    println!("── ablation 6: per-node burst buffers absorb part of the gain ──");
+    for bb_gib in [0.0, 16.0, 80.0] {
+        let mut d = ExperimentConfig::paper(SchedulerKind::DefaultBackfill, seed);
+        d.burst_buffer_per_node_bytes = gib(bb_gib);
+        let mut a = ExperimentConfig::paper(
+            SchedulerKind::Adaptive {
+                limit_bps: gibps(20.0),
+                two_group: true,
+            },
+            seed,
+        );
+        a.burst_buffer_per_node_bytes = gib(bb_gib);
+        let (dm, am) = (run(&d, &w), run(&a, &w));
+        println!(
+            "  bb {bb_gib:>4.0} GiB/node: default {dm:>7.0} s | adaptive {am:>7.0} s | gain {:+.1}%",
+            100.0 * (dm - am) / dm
+        );
+    }
+    println!("  (moderate buffers release nodes early but the drains still fight");
+    println!("   for OSTs — the adaptive win persists (paper §II-B: buffering");
+    println!("   mitigates but does not remove burst interference). With buffers");
+    println!("   big enough to absorb whole jobs, client-side throughput");
+    println!("   estimates explode and the adaptive scheduler over-throttles —");
+    println!("   estimate-driven pacing then needs backend-aware telemetry.)");
+}

@@ -1,0 +1,93 @@
+//! Reproduce **Fig. 3**: representative results of scheduling Workload 1
+//! under the five configurations of the paper —
+//!
+//! (a) default Slurm backfill, (b) I/O-aware 20 GiB/s pre-trained,
+//! (c) I/O-aware 15 GiB/s pre-trained, (d) adaptive 20 GiB/s pre-trained,
+//! (e) adaptive 20 GiB/s untrained.
+//!
+//! Emits per-panel trace CSVs under `results/fig3/` and prints ASCII
+//! panels plus the makespan improvements over the default scheduler
+//! (paper: b ≈ −10 %, c ≈ −20 %, d ≈ −26 %, e ≈ −25 %).
+//!
+//! Usage: `cargo run --release -p iosched-experiments --bin fig3 [seed]`
+
+use iosched_experiments::driver::{run_experiment, ExperimentConfig, SchedulerKind};
+use iosched_experiments::figures::{jobs_csv, print_panel, traces_csv, write_output};
+use iosched_simkit::units::gibps;
+use iosched_workloads::{workload_1, PaperParams};
+use std::path::PathBuf;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let workload = workload_1(&PaperParams::default());
+    let out_dir = PathBuf::from("results/fig3");
+
+    let panels: Vec<(&str, SchedulerKind, bool)> = vec![
+        ("a_default", SchedulerKind::DefaultBackfill, true),
+        (
+            "b_ioaware20",
+            SchedulerKind::IoAware {
+                limit_bps: gibps(20.0),
+            },
+            true,
+        ),
+        (
+            "c_ioaware15",
+            SchedulerKind::IoAware {
+                limit_bps: gibps(15.0),
+            },
+            true,
+        ),
+        (
+            "d_adaptive20",
+            SchedulerKind::Adaptive {
+                limit_bps: gibps(20.0),
+                two_group: true,
+            },
+            true,
+        ),
+        (
+            "e_adaptive20_untrained",
+            SchedulerKind::Adaptive {
+                limit_bps: gibps(20.0),
+                two_group: true,
+            },
+            false,
+        ),
+    ];
+
+    println!("Fig. 3 — Workload 1 (720 jobs: 8 waves x [30 write_x8 + 60 sleep]), seed {seed}\n");
+    let mut baseline = None;
+    for (tag, kind, pretrained) in panels {
+        let mut cfg = ExperimentConfig::paper(kind, seed);
+        cfg.pretrained = pretrained;
+        let res = run_experiment(&cfg, &workload);
+        write_output(&out_dir.join(format!("{tag}_traces.csv")), &traces_csv(&res, 10))
+            .expect("write traces");
+        write_output(&out_dir.join(format!("{tag}_jobs.csv")), &jobs_csv(&res))
+            .expect("write jobs");
+
+        let title = format!(
+            "Fig 3({}) {}{}",
+            &tag[..1],
+            res.label,
+            if pretrained { "" } else { " (untrained)" }
+        );
+        print_panel(&title, &res);
+        match baseline {
+            None => {
+                baseline = Some(res.makespan_secs);
+                println!("  (baseline)\n");
+            }
+            Some(base) => {
+                let delta = 100.0 * (base - res.makespan_secs) / base;
+                println!("  improvement over default: {delta:+.1}%\n");
+            }
+        }
+    }
+    println!("paper reference: (b) ~10%, (c) ~20%, (d) ~26%, (e) ~25% improvement");
+    println!("CSV data in {}", out_dir.display());
+}

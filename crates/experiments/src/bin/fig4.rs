@@ -1,0 +1,63 @@
+//! Reproduce **Fig. 4**: Lustre total throughput as the number of
+//! concurrent "write×8" jobs varies from 0 to 15 (box plot).
+//!
+//! Prints the box-plot rows for the short-term probe (what the paper's
+//! figure shows) and, as a calibrated extension, the *sustained* probe —
+//! the "long-term bandwidth" regime the paper describes in §V, which is
+//! what the makespan experiments actually experience.
+//!
+//! Usage: `cargo run --release -p iosched-experiments --bin fig4 [seed]`
+
+use iosched_experiments::figures::{boxplot_csv, write_output};
+use iosched_lustre::probe::{fig4_sweep, ProbeConfig};
+use iosched_lustre::LustreConfig;
+use iosched_simkit::units::to_gibps;
+use std::path::PathBuf;
+
+fn print_rows(title: &str, rows: &[iosched_lustre::probe::ProbeRow]) {
+    println!("── {title} ──");
+    println!("{:>5} {:>7} {:>7} {:>7} {:>7} {:>7}", "jobs", "min", "q1", "med", "q3", "max");
+    for r in rows {
+        println!(
+            "{:5} {:7.2} {:7.2} {:7.2} {:7.2} {:7.2}",
+            r.concurrent_jobs,
+            to_gibps(r.stats.min),
+            to_gibps(r.stats.q1),
+            to_gibps(r.stats.median),
+            to_gibps(r.stats.q3),
+            to_gibps(r.stats.max),
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let cfg = LustreConfig::stria();
+    let out = PathBuf::from("results/fig4");
+
+    println!("Fig. 4 — aggregate throughput vs concurrent write_x8 jobs, seed {seed}\n");
+    let short = fig4_sweep(&cfg, &ProbeConfig::short_term(), 15, seed);
+    print_rows("short-term probe (paper Fig. 4 protocol)", &short);
+    let short_rows: Vec<(usize, iosched_simkit::stats::BoxStats)> =
+        short.iter().map(|r| (r.concurrent_jobs, r.stats)).collect();
+    write_output(&out.join("short_term.csv"), &boxplot_csv(&short_rows)).expect("write");
+
+    let sustained = fig4_sweep(&cfg, &ProbeConfig::sustained(), 15, seed);
+    print_rows("sustained probe (long-term regime, paper §V)", &sustained);
+    let sus_rows: Vec<(usize, iosched_simkit::stats::BoxStats)> = sustained
+        .iter()
+        .map(|r| (r.concurrent_jobs, r.stats))
+        .collect();
+    write_output(&out.join("sustained.csv"), &boxplot_csv(&sus_rows)).expect("write");
+
+    let peak = short
+        .iter()
+        .map(|r| to_gibps(r.stats.max))
+        .fold(f64::MIN, f64::max);
+    println!("short-term peak: {peak:.1} GiB/s (paper: ~20 GiB/s peak, levelling near 15)");
+    println!("CSV data in {}", out.display());
+}

@@ -1,0 +1,79 @@
+//! Reproduce **Fig. 6**: summary of Workload 2 results — a swarm of
+//! makespans per scheduler configuration across repeated runs, with
+//! medians (the paper's central-tendency measure for the skewed
+//! distributions).
+//!
+//! Paper reference medians (improvement over default Slurm):
+//! io-aware-20 ≈ 4 %, io-aware-15 ≈ 7 %, adaptive-20 ≈ 12 %,
+//! adaptive-15 ≈ io-aware-15 + 3 %.
+//!
+//! Usage: `cargo run --release -p iosched-experiments --bin fig6 [n_seeds]`
+//! (default 5 seeds per configuration; the paper repeats each
+//! configuration a comparable number of times).
+
+use iosched_experiments::campaign::run_campaign;
+use iosched_experiments::driver::{ExperimentConfig, SchedulerKind};
+use iosched_experiments::figures::write_output;
+use iosched_simkit::units::gibps;
+use iosched_workloads::{workload_2, PaperParams};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn main() {
+    let n_seeds: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let seeds: Vec<u64> = (0..n_seeds as u64).map(|i| 1000 + i * 17).collect();
+    let workload = workload_2(&PaperParams::default());
+
+    let configs = vec![
+        SchedulerKind::DefaultBackfill,
+        SchedulerKind::IoAware {
+            limit_bps: gibps(20.0),
+        },
+        SchedulerKind::IoAware {
+            limit_bps: gibps(15.0),
+        },
+        SchedulerKind::Adaptive {
+            limit_bps: gibps(20.0),
+            two_group: true,
+        },
+        SchedulerKind::Adaptive {
+            limit_bps: gibps(15.0),
+            two_group: true,
+        },
+    ];
+
+    println!(
+        "Fig. 6 — Workload 2 makespan swarm, {} seeds per configuration\n",
+        seeds.len()
+    );
+    let mut csv = String::from("scheduler,seed,makespan_s\n");
+    let mut medians = Vec::new();
+    for kind in configs {
+        let cfg = ExperimentConfig::paper(kind, 0);
+        let camp = run_campaign(&cfg, &workload, &seeds);
+        for (i, &m) in camp.makespans_secs.iter().enumerate() {
+            writeln!(csv, "{},{},{:.0}", camp.label, seeds[i], m).expect("write");
+        }
+        let med = camp.median_makespan_secs();
+        let points: Vec<String> = camp
+            .makespans_secs
+            .iter()
+            .map(|m| format!("{m:.0}"))
+            .collect();
+        println!("{:<16} median {:>7.0} s   swarm: {}", camp.label, med, points.join(" "));
+        medians.push((camp.label.clone(), med));
+    }
+
+    let base = medians[0].1;
+    println!("\nmedian improvement over default:");
+    for (label, med) in &medians[1..] {
+        println!("  {:<16} {:+.1}%", label, 100.0 * (base - med) / base);
+    }
+    println!("\npaper reference: io-aware-20 ~4%, io-aware-15 ~7%, adaptive-20 ~12%, adaptive-15 ~ io-aware-15 + 3%");
+
+    write_output(&PathBuf::from("results/fig6/swarm.csv"), &csv).expect("write");
+    println!("CSV data in results/fig6");
+}

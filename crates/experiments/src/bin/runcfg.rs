@@ -1,0 +1,64 @@
+//! Config-file-driven experiment runner.
+//!
+//! Usage: `cargo run --release -p iosched-experiments --bin runcfg <file.conf>`
+//!
+//! See [`iosched_experiments::config`] for the format. Prints the ASCII
+//! panel and scheduling metrics, and writes trace/job CSVs to the
+//! configured output directory.
+
+use iosched_experiments::config::parse_run_spec;
+use iosched_experiments::driver::run_experiment;
+use iosched_experiments::figures::{jobs_csv, print_panel, traces_csv, write_output};
+use iosched_experiments::metrics::{per_class_metrics, scheduling_metrics};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: runcfg <file.conf>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match parse_run_spec(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "running {} over {} jobs on {} nodes (seed {})...\n",
+        spec.config.scheduler.label(),
+        spec.workload.len(),
+        spec.config.nodes,
+        spec.config.seed
+    );
+    let res = run_experiment(&spec.config, &spec.workload);
+    print_panel(&res.label.clone(), &res);
+
+    if let Some(m) = scheduling_metrics(&res.jobs) {
+        println!(
+            "  mean wait {:.0} s | median wait {:.0} s | mean bounded slowdown {:.2} | timed out {}",
+            m.mean_wait_secs, m.median_wait_secs, m.mean_bounded_slowdown, m.timed_out
+        );
+    }
+    for (name, m) in per_class_metrics(&res) {
+        println!(
+            "    {name:<12} n={:<5} mean wait {:>7.0} s | mean runtime {:>7.0} s",
+            m.jobs, m.mean_wait_secs, m.mean_runtime_secs
+        );
+    }
+
+    let dir = PathBuf::from(&spec.output_dir);
+    write_output(&dir.join("traces.csv"), &traces_csv(&res, 10)).expect("write traces");
+    write_output(&dir.join("jobs.csv"), &jobs_csv(&res)).expect("write jobs");
+    println!("\nCSV data in {}", dir.display());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,86 @@
+//! Paper-vs-measured summary of every headline number in the paper's
+//! evaluation (§V–§VII): the Workload 1 improvements behind Fig. 3 and
+//! the Workload 2 medians behind Figs. 5–6, plus the §IX conclusion
+//! ranges.
+//!
+//! Usage:
+//! `cargo run --release -p iosched-experiments --bin summary [n_seeds]`
+//! (seeds only affect the Workload 2 medians; Workload 1 uses the
+//! representative seed of Fig. 3).
+
+use iosched_experiments::campaign::run_campaign;
+use iosched_experiments::driver::{run_experiment, ExperimentConfig, SchedulerKind};
+use iosched_experiments::figures::write_output;
+use iosched_simkit::units::gibps;
+use iosched_workloads::{workload_1, workload_2, PaperParams};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+struct Row {
+    experiment: &'static str,
+    paper: &'static str,
+    measured: String,
+}
+
+fn main() {
+    let n_seeds: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let seeds: Vec<u64> = (0..n_seeds as u64).map(|i| 1000 + i * 17).collect();
+    let mut rows: Vec<Row> = Vec::new();
+
+    // ── Workload 1 (single representative runs, Fig. 3) ──
+    let w1 = workload_1(&PaperParams::default());
+    let run_w1 = |kind: SchedulerKind, pretrained: bool| -> f64 {
+        let mut cfg = ExperimentConfig::paper(kind, 42);
+        cfg.pretrained = pretrained;
+        run_experiment(&cfg, &w1).makespan_secs
+    };
+    eprintln!("running Workload 1 panels...");
+    let w1_default = run_w1(SchedulerKind::DefaultBackfill, true);
+    let imp = |base: f64, x: f64| 100.0 * (base - x) / base;
+    let w1_io20 = imp(w1_default, run_w1(SchedulerKind::IoAware { limit_bps: gibps(20.0) }, true));
+    let w1_io15 = imp(w1_default, run_w1(SchedulerKind::IoAware { limit_bps: gibps(15.0) }, true));
+    let w1_ad20 = imp(
+        w1_default,
+        run_w1(SchedulerKind::Adaptive { limit_bps: gibps(20.0), two_group: true }, true),
+    );
+    let w1_ad20u = imp(
+        w1_default,
+        run_w1(SchedulerKind::Adaptive { limit_bps: gibps(20.0), two_group: true }, false),
+    );
+    rows.push(Row { experiment: "W1 io-aware 20 GiB/s vs default (Fig 3b)", paper: "~10%", measured: format!("{w1_io20:+.1}%") });
+    rows.push(Row { experiment: "W1 io-aware 15 GiB/s vs default (Fig 3c)", paper: "~20%", measured: format!("{w1_io15:+.1}%") });
+    rows.push(Row { experiment: "W1 adaptive 20 GiB/s vs default (Fig 3d)", paper: "~26%", measured: format!("{w1_ad20:+.1}%") });
+    rows.push(Row { experiment: "W1 adaptive untrained vs default (Fig 3e)", paper: "~25%", measured: format!("{w1_ad20u:+.1}%") });
+
+    // ── Workload 2 (multi-seed medians, Fig. 6) ──
+    let w2 = workload_2(&PaperParams::default());
+    let median = |kind: SchedulerKind| -> f64 {
+        eprintln!("running Workload 2 campaign for {}...", kind.label());
+        run_campaign(&ExperimentConfig::paper(kind, 0), &w2, &seeds).median_makespan_secs()
+    };
+    let w2_default = median(SchedulerKind::DefaultBackfill);
+    let w2_io20 = imp(w2_default, median(SchedulerKind::IoAware { limit_bps: gibps(20.0) }));
+    let w2_io15_m = median(SchedulerKind::IoAware { limit_bps: gibps(15.0) });
+    let w2_io15 = imp(w2_default, w2_io15_m);
+    let w2_ad20 = imp(w2_default, median(SchedulerKind::Adaptive { limit_bps: gibps(20.0), two_group: true }));
+    let w2_ad15_m = median(SchedulerKind::Adaptive { limit_bps: gibps(15.0), two_group: true });
+    let w2_ad15_vs_io15 = 100.0 * (w2_io15_m - w2_ad15_m) / w2_io15_m;
+    rows.push(Row { experiment: "W2 io-aware 20 GiB/s vs default (Fig 6)", paper: "~4%", measured: format!("{w2_io20:+.1}%") });
+    rows.push(Row { experiment: "W2 io-aware 15 GiB/s vs default (Fig 6)", paper: "~7%", measured: format!("{w2_io15:+.1}%") });
+    rows.push(Row { experiment: "W2 adaptive 20 GiB/s vs default (Fig 6)", paper: "~12%", measured: format!("{w2_ad20:+.1}%") });
+    rows.push(Row { experiment: "W2 adaptive 15 vs io-aware 15 (Fig 6)", paper: "~3%", measured: format!("{w2_ad15_vs_io15:+.1}%") });
+
+    // ── Render ──
+    let mut out = String::new();
+    writeln!(out, "{:<44} {:>8} {:>10}", "experiment", "paper", "measured").unwrap();
+    writeln!(out, "{}", "-".repeat(64)).unwrap();
+    for r in &rows {
+        writeln!(out, "{:<44} {:>8} {:>10}", r.experiment, r.paper, r.measured).unwrap();
+    }
+    println!("{out}");
+    write_output(&PathBuf::from("results/summary.txt"), &out).expect("write");
+    println!("written to results/summary.txt");
+}

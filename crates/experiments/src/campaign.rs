@@ -1,0 +1,149 @@
+//! Multi-seed experiment campaigns.
+//!
+//! The paper repeats every Workload-2 configuration multiple times and
+//! reports the full distribution (Fig. 6 swarm plot) with medians, because
+//! parallel-file-system performance is highly variable. A campaign runs
+//! the same configuration across seeds, fanned out over OS threads with
+//! `crossbeam`'s scoped threads.
+
+use crate::driver::{run_experiment, ExperimentConfig, ExperimentResult, SchedulerKind};
+use iosched_simkit::stats::median;
+use iosched_workloads::JobSubmission;
+
+/// Results of one scheduler configuration across seeds.
+#[derive(Clone, Debug)]
+pub struct CampaignResult {
+    pub scheduler: SchedulerKind,
+    pub label: String,
+    /// Makespans per seed, in seed order.
+    pub makespans_secs: Vec<f64>,
+}
+
+impl CampaignResult {
+    /// Median makespan (the paper's central-tendency measure — the
+    /// distribution is skewed).
+    pub fn median_makespan_secs(&self) -> f64 {
+        median(&self.makespans_secs).expect("campaign has runs")
+    }
+}
+
+/// Run `base` under each seed in `seeds`, in parallel (one thread per run,
+/// bounded by available parallelism).
+pub fn run_campaign(
+    base: &ExperimentConfig,
+    workload: &[JobSubmission],
+    seeds: &[u64],
+) -> CampaignResult {
+    assert!(!seeds.is_empty(), "campaign needs at least one seed");
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut makespans = vec![0.0f64; seeds.len()];
+
+    // Chunked fan-out: at most `threads` concurrent runs.
+    for (chunk_idx, chunk) in seeds.chunks(threads).enumerate() {
+        let offset = chunk_idx * threads;
+        let results: Vec<(usize, f64)> = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (i, &seed) in chunk.iter().enumerate() {
+                let mut cfg = base.clone();
+                cfg.seed = seed;
+                let workload = &workload;
+                handles.push(scope.spawn(move |_| {
+                    let res = run_experiment(&cfg, workload);
+                    (offset + i, res.makespan_secs)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("campaign worker panicked"))
+                .collect()
+        })
+        .expect("campaign scope");
+        for (idx, m) in results {
+            makespans[idx] = m;
+        }
+    }
+
+    CampaignResult {
+        scheduler: base.scheduler,
+        label: base.scheduler.label(),
+        makespans_secs: makespans,
+    }
+}
+
+/// Convenience: run a full trace-recording experiment for one seed (the
+/// representative panels of Figs. 3 and 5) while the campaign covers the
+/// distribution.
+pub fn representative_run(
+    base: &ExperimentConfig,
+    workload: &[JobSubmission],
+    seed: u64,
+) -> ExperimentResult {
+    let mut cfg = base.clone();
+    cfg.seed = seed;
+    run_experiment(&cfg, workload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iosched_cluster::ExecSpec;
+    use iosched_lustre::LustreConfig;
+    use iosched_simkit::time::SimDuration;
+    use iosched_simkit::units::gib;
+    use iosched_workloads::WorkloadBuilder;
+
+    fn tiny() -> Vec<JobSubmission> {
+        // Enough concurrent streams that OSTs are shared — only then does
+        // per-OST bandwidth noise reach completion times (singleton
+        // streams are pinned at the deterministic per-stream cap) and
+        // seeds produce distinct makespans.
+        WorkloadBuilder::new()
+            .batch(
+                10,
+                "w",
+                ExecSpec::write_xn(8, gib(4.0)),
+                SimDuration::from_secs(1200),
+            )
+            .batch(
+                3,
+                "s",
+                ExecSpec::sleep(SimDuration::from_secs(30)),
+                SimDuration::from_secs(60),
+            )
+            .build()
+    }
+
+    #[test]
+    fn campaign_runs_all_seeds() {
+        let mut cfg = ExperimentConfig::paper(SchedulerKind::DefaultBackfill, 0);
+        cfg.nodes = 10;
+        cfg.fs = LustreConfig::stria(); // noise on: seeds should differ
+        let camp = run_campaign(&cfg, &tiny(), &[1, 2, 3, 4, 5]);
+        assert_eq!(camp.makespans_secs.len(), 5);
+        assert!(camp.makespans_secs.iter().all(|&m| m > 0.0));
+        assert!(camp.median_makespan_secs() > 0.0);
+        // Different seeds explore different noise paths: not all equal.
+        let first = camp.makespans_secs[0];
+        assert!(
+            camp.makespans_secs.iter().any(|&m| (m - first).abs() > 1e-9),
+            "all seeds identical: {:?}",
+            camp.makespans_secs
+        );
+    }
+
+    #[test]
+    fn campaign_matches_sequential_runs() {
+        let mut cfg = ExperimentConfig::paper(SchedulerKind::DefaultBackfill, 0);
+        cfg.nodes = 10;
+        let w = tiny();
+        let camp = run_campaign(&cfg, &w, &[11, 12]);
+        for (i, &seed) in [11u64, 12].iter().enumerate() {
+            let mut c = cfg.clone();
+            c.seed = seed;
+            let res = run_experiment(&c, &w);
+            assert_eq!(res.makespan_secs, camp.makespans_secs[i]);
+        }
+    }
+}

@@ -1,0 +1,764 @@
+//! The experiment event loop.
+//!
+//! One [`run_experiment`] call reproduces one panel of the paper's Fig. 3
+//! or Fig. 5: a full workload scheduled to completion under a chosen
+//! scheduler configuration, with monitoring traces recorded along the way.
+//!
+//! Event loop structure (all simulated time):
+//!
+//! * the **cluster** advances through stream completions and phase ends;
+//! * the **monitoring daemon** samples throughput and allocation at a
+//!   fixed cadence (1 s, like the paper's LDMS setup);
+//! * the **scheduler** runs a backfill pass periodically (`sched_period`,
+//!   Slurm's backfill interval) and after job completions, subject to a
+//!   minimum interval (Slurm's `sched_min_interval`);
+//! * completions are reported to the **analytics**, which refresh the
+//!   estimates the next round's [`EstimateBook`] snapshots.
+
+use iosched_analytics::service::{AnalyticsConfig, AnalyticsService};
+use iosched_cluster::{ClusterSim, ExecSpec};
+use iosched_core::{AdaptiveConfig, AdaptivePolicy, EstimateBook, IoAwareConfig, IoAwarePolicy};
+use iosched_ldms::LdmsDaemon;
+use iosched_lustre::LustreConfig;
+use iosched_simkit::ids::JobId;
+use iosched_simkit::rng::SimRng;
+use iosched_simkit::series::TimeSeries;
+use iosched_simkit::time::{SimDuration, SimTime};
+use iosched_slurm::policy::NodePolicy;
+use iosched_slurm::{
+    backfill_pass, BackfillConfig, JobRegistry, PriorityPolicy, SchedJob, SchedulingOutcome,
+};
+use iosched_workloads::JobSubmission;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Which scheduler to run — the five configurations of the paper's
+/// evaluation plus the naïve-adaptive ablation.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Stock Slurm backfill (nodes only).
+    DefaultBackfill,
+    /// I/O-aware with a fixed throughput limit (bytes/s).
+    IoAware { limit_bps: f64 },
+    /// Workload-adaptive; `two_group = false` is the naïve ablation.
+    Adaptive { limit_bps: f64, two_group: bool },
+    /// Dot-product vector packing (TETRIS-style, §VIII comparator):
+    /// order-free, reservation-free greedy packing of nodes × bandwidth.
+    Packing { limit_bps: f64 },
+}
+
+impl SchedulerKind {
+    /// Short human-readable label used in figure outputs.
+    pub fn label(&self) -> String {
+        use iosched_simkit::units::to_gibps;
+        match self {
+            SchedulerKind::DefaultBackfill => "default".to_string(),
+            SchedulerKind::IoAware { limit_bps } => {
+                format!("io-aware-{:.0}", to_gibps(*limit_bps))
+            }
+            SchedulerKind::Adaptive {
+                limit_bps,
+                two_group,
+            } => format!(
+                "adaptive{}-{:.0}",
+                if *two_group { "" } else { "-naive" },
+                to_gibps(*limit_bps)
+            ),
+            SchedulerKind::Packing { limit_bps } => {
+                format!("packing-{:.0}", to_gibps(*limit_bps))
+            }
+        }
+    }
+}
+
+/// Full configuration of one experiment run.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    pub scheduler: SchedulerKind,
+    pub fs: LustreConfig,
+    /// Compute nodes (paper testbed: 15).
+    pub nodes: usize,
+    /// Master seed; all stochastic behaviour derives from it.
+    pub seed: u64,
+    /// Backfill interval (Slurm `bf_interval`, default 30 s).
+    pub sched_period: SimDuration,
+    /// Minimum spacing between event-triggered passes
+    /// (Slurm `sched_min_interval`).
+    pub sched_min_interval: SimDuration,
+    /// Monitoring cadence (paper: 1 s).
+    pub sample_period: SimDuration,
+    /// Only the first `max_queue_depth` queued jobs are examined per pass
+    /// (Slurm `bf_max_job_test`).
+    pub max_queue_depth: usize,
+    /// `BackfillMax` of Algorithm 1.
+    pub backfill_max: usize,
+    /// Pre-train the estimator by running each job type in isolation.
+    pub pretrained: bool,
+    /// QoS fraction of the two-group threshold, Eq. (2) (paper: 0.5).
+    /// Only affects `SchedulerKind::Adaptive`.
+    pub qos_fraction: f64,
+    /// Kill jobs that exceed their requested limit `L_j` (Slurm's
+    /// behaviour). Off by default: the paper's workloads are sized so no
+    /// job hits its limit, and killed write jobs would change the offered
+    /// I/O volume.
+    pub enforce_limits: bool,
+    /// Queue ordering before each backfill pass (Algorithm 1, line 2).
+    pub priority_policy: PriorityPolicy,
+    /// Per-node burst-buffer capacity in bytes (0 = none, the paper's
+    /// setup). Buffered write bytes complete at client speed and drain
+    /// asynchronously.
+    pub burst_buffer_per_node_bytes: f64,
+    /// Analytics configuration (EMA decay, measurement window).
+    pub analytics: AnalyticsConfig,
+}
+
+impl ExperimentConfig {
+    /// The paper's testbed defaults for a given scheduler.
+    pub fn paper(scheduler: SchedulerKind, seed: u64) -> Self {
+        ExperimentConfig {
+            scheduler,
+            fs: LustreConfig::stria(),
+            nodes: 15,
+            seed,
+            sched_period: SimDuration::from_secs(30),
+            sched_min_interval: SimDuration::from_secs(2),
+            sample_period: SimDuration::from_secs(1),
+            max_queue_depth: 500,
+            backfill_max: usize::MAX,
+            pretrained: true,
+            qos_fraction: 0.5,
+            enforce_limits: false,
+            priority_policy: PriorityPolicy::Fifo,
+            burst_buffer_per_node_bytes: 0.0,
+            analytics: AnalyticsConfig::default(),
+        }
+    }
+}
+
+/// Per-job outcome record.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JobRecord {
+    pub id: JobId,
+    pub name: String,
+    pub submit: SimTime,
+    pub start: SimTime,
+    pub end: SimTime,
+    /// True if the job was killed at its runtime limit.
+    pub timed_out: bool,
+}
+
+impl JobRecord {
+    /// Wait time `Q_j`.
+    pub fn wait(&self) -> SimDuration {
+        self.start.saturating_since(self.submit)
+    }
+
+    /// Runtime `D_j`.
+    pub fn runtime(&self) -> SimDuration {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// Everything one run produces.
+#[derive(Clone, Debug, Default)]
+pub struct ExperimentResult {
+    /// Total workload runtime (first submit → last completion), seconds.
+    pub makespan_secs: f64,
+    /// Sampled aggregate Lustre throughput (bytes/s).
+    pub throughput_trace: TimeSeries,
+    /// Sampled allocated-node count.
+    pub nodes_trace: TimeSeries,
+    /// Sampled mean OST fatigue level (model diagnostic).
+    pub fatigue_trace: TimeSeries,
+    /// Sampled active-stream count (model diagnostic).
+    pub streams_trace: TimeSeries,
+    /// Per-job records, by id.
+    pub jobs: Vec<JobRecord>,
+    /// Scheduling passes executed.
+    pub sched_passes: u64,
+    /// Scheduler label (for reports).
+    pub label: String,
+}
+
+impl ExperimentResult {
+    /// Average allocated nodes over the makespan.
+    pub fn mean_busy_nodes(&self) -> f64 {
+        self.nodes_trace.time_average(
+            SimTime::ZERO,
+            SimTime::from_secs_f64(self.makespan_secs),
+        )
+    }
+
+    /// Average aggregate throughput over the makespan (bytes/s).
+    pub fn mean_throughput_bps(&self) -> f64 {
+        self.throughput_trace.time_average(
+            SimTime::ZERO,
+            SimTime::from_secs_f64(self.makespan_secs),
+        )
+    }
+}
+
+/// The scheduler-policy dispatch (static enum rather than trait objects:
+/// `SchedulingPolicy` has an associated tracker type).
+enum PolicyImpl {
+    Default(NodePolicy),
+    IoAware(IoAwarePolicy),
+    Adaptive(AdaptivePolicy),
+    Packing(iosched_core::PackingConfig),
+}
+
+impl PolicyImpl {
+    fn new(kind: SchedulerKind, qos_fraction: f64) -> Self {
+        match kind {
+            SchedulerKind::DefaultBackfill => PolicyImpl::Default(NodePolicy::default()),
+            SchedulerKind::IoAware { limit_bps } => {
+                PolicyImpl::IoAware(IoAwarePolicy::new(IoAwareConfig { limit_bps }))
+            }
+            SchedulerKind::Adaptive {
+                limit_bps,
+                two_group,
+            } => PolicyImpl::Adaptive(AdaptivePolicy::new(AdaptiveConfig {
+                limit_bps,
+                two_group,
+                qos_fraction,
+            })),
+            SchedulerKind::Packing { limit_bps } => {
+                PolicyImpl::Packing(iosched_core::PackingConfig { limit_bps })
+            }
+        }
+    }
+
+    fn run_pass(
+        &mut self,
+        book: EstimateBook,
+        running: &[iosched_slurm::RunningView<'_>],
+        queue: &[&SchedJob],
+        now: SimTime,
+        total_nodes: usize,
+        bf: &BackfillConfig,
+    ) -> SchedulingOutcome {
+        match self {
+            PolicyImpl::Default(p) => backfill_pass(p, running, queue, now, total_nodes, bf),
+            PolicyImpl::IoAware(p) => {
+                p.begin_round(book);
+                backfill_pass(p, running, queue, now, total_nodes, bf)
+            }
+            PolicyImpl::Adaptive(p) => {
+                p.begin_round(book);
+                backfill_pass(p, running, queue, now, total_nodes, bf)
+            }
+            PolicyImpl::Packing(cfg) => {
+                iosched_core::packing_pass(&book, running, queue, now, total_nodes, cfg)
+            }
+        }
+    }
+}
+
+/// Run one experiment to completion.
+pub fn run_experiment(
+    cfg: &ExperimentConfig,
+    workload: &[JobSubmission],
+) -> ExperimentResult {
+    assert!(!workload.is_empty(), "workload must not be empty");
+    let master = SimRng::from_seed(cfg.seed);
+    let mut cluster = ClusterSim::new(cfg.nodes, cfg.fs.clone(), master.fork(1));
+    cluster.set_burst_buffer(cfg.burst_buffer_per_node_bytes);
+    let mut daemon = LdmsDaemon::new(cfg.sample_period);
+    let mut analytics = AnalyticsService::new(cfg.analytics);
+    let mut policy = PolicyImpl::new(cfg.scheduler, cfg.qos_fraction);
+    let bf = BackfillConfig {
+        max_reservations: cfg.backfill_max,
+    };
+
+    if cfg.pretrained {
+        for (name, r, d) in crate::pretrain::pretrain_isolated_with_bb(
+            &cfg.fs,
+            workload,
+            cfg.seed,
+            cfg.burst_buffer_per_node_bytes,
+        ) {
+            analytics.pretrain(&name, r, d);
+        }
+    }
+
+    // Registry + exec-spec lookup.
+    let mut registry = JobRegistry::new();
+    let mut specs: BTreeMap<JobId, ExecSpec> = BTreeMap::new();
+    for sub in workload {
+        registry.submit(
+            SchedJob::new(
+                sub.id,
+                sub.name.clone(),
+                sub.exec.nodes,
+                sub.limit,
+                sub.submit,
+            )
+            .with_priority(sub.priority)
+            .with_after(sub.after.clone()),
+        );
+        specs.insert(sub.id, sub.exec.clone());
+    }
+
+    let mut result = ExperimentResult {
+        label: cfg.scheduler.label(),
+        ..ExperimentResult::default()
+    };
+
+    let first_submit = workload.iter().map(|s| s.submit).min().unwrap();
+    let mut next_sched = first_submit;
+    let mut last_sched: Option<SimTime> = None;
+    let mut sched_requested = true;
+    let mut now = SimTime::ZERO;
+
+    let mut guard: u64 = 0;
+    while !registry.all_completed() {
+        guard += 1;
+        assert!(
+            guard < 50_000_000,
+            "event loop failed to converge (time {now})"
+        );
+
+        // Next event: cluster activity, sampling tick, scheduling tick,
+        // or a future submission.
+        let mut t_next = next_sched;
+        if let Some(t) = cluster.next_event_time() {
+            t_next = t_next.min(t);
+        }
+        t_next = t_next.min(daemon.next_sample_at());
+        if let Some(t) = registry.next_submission_after(now) {
+            t_next = t_next.min(t);
+        }
+        if cfg.enforce_limits {
+            if let Some(t) = registry.next_limit_expiry() {
+                t_next = t_next.min(t);
+            }
+        }
+        // Never move backwards (e.g. a sched request issued "now").
+        let t = t_next.max(now);
+
+        // 1. Advance the cluster; harvest completions.
+        let completions = cluster.advance_to(t);
+        for c in &completions {
+            registry.mark_completed(c.job, c.at);
+            let meta = registry.meta(c.job).expect("completed job exists");
+            let name = meta.name.clone();
+            let (started, ended) = match registry.state(c.job) {
+                Some(iosched_slurm::JobState::Completed { started, ended }) => {
+                    (started, ended)
+                }
+                _ => unreachable!("just marked completed"),
+            };
+            analytics.on_job_complete(&daemon, c.job.0, &name, started, ended);
+            sched_requested = true;
+        }
+        now = t;
+
+        // 1b. Limit enforcement: kill running jobs that hit `L_j`.
+        if cfg.enforce_limits {
+            for (id, _) in registry.overrunning(now) {
+                cluster
+                    .cancel_job(now, id)
+                    .expect("overrunning job is running");
+                registry.mark_timed_out(id, now);
+                // Killed jobs produce no estimator observation: their
+                // measured volume is truncated and would bias r̂/d̂.
+                sched_requested = true;
+            }
+        }
+
+        // 2. Monitoring sample.
+        if now >= daemon.next_sample_at() {
+            let snap = cluster.fs().snapshot();
+            let per_job: Vec<(u64, f64)> =
+                snap.per_tag_bps.iter().map(|(tag, &bps)| (tag.0, bps)).collect();
+            daemon.sample(now, snap.total_bps, &per_job, cluster.busy_nodes());
+            result.throughput_trace.push(now, snap.total_bps);
+            result.nodes_trace.push(now, cluster.busy_nodes() as f64);
+            let fat = cluster.fs().ost_fatigue();
+            result
+                .fatigue_trace
+                .push(now, fat.iter().sum::<f64>() / fat.len().max(1) as f64);
+            result
+                .streams_trace
+                .push(now, cluster.fs().active_stream_count() as f64);
+        }
+
+        // 3. Scheduling pass (periodic, or event-triggered subject to the
+        // minimum interval).
+        let min_ok = last_sched
+            .is_none_or(|ls| now.saturating_since(ls) >= cfg.sched_min_interval);
+        if now >= next_sched || (sched_requested && min_ok) {
+            sched_requested = false;
+            last_sched = Some(now);
+            next_sched = now + cfg.sched_period;
+
+            let queue_full = registry.wait_queue_ordered(now, cfg.priority_policy);
+            if !queue_full.is_empty() {
+                let queue: Vec<&SchedJob> = queue_full
+                    .into_iter()
+                    .take(cfg.max_queue_depth)
+                    .collect();
+                let running = registry.running_views();
+
+                // Lines 1–2 of Algorithm 2: snapshot estimates + load.
+                let mut book = EstimateBook::new();
+                for j in queue.iter().copied().chain(running.iter().map(|rv| rv.job)) {
+                    book.insert(j.id, analytics.job_estimate(&j.name, j.limit));
+                }
+                book.measured_total_bps = analytics.current_load_bps(&daemon, now);
+
+                let outcome =
+                    policy.run_pass(book, &running, &queue, now, cfg.nodes, &bf);
+                result.sched_passes += 1;
+
+                for id in outcome.start_now {
+                    let spec = specs.get(&id).expect("spec exists");
+                    cluster
+                        .start_job(now, id, spec)
+                        .unwrap_or_else(|e| panic!("scheduler overcommitted: {e}"));
+                    registry.mark_started(id, now);
+                }
+            }
+        }
+    }
+
+    // Final sample so traces extend to the end.
+    let snap = cluster.fs().snapshot();
+    result.throughput_trace.push(now.max(daemon.next_sample_at()), snap.total_bps);
+    result
+        .nodes_trace
+        .push(now.max(daemon.next_sample_at()), cluster.busy_nodes() as f64);
+
+    result.makespan_secs = registry
+        .makespan()
+        .expect("all jobs completed")
+        .as_secs_f64();
+    result.jobs = registry
+        .timings()
+        .iter()
+        .map(|&(id, _, _)| {
+            let meta = registry.meta(id).unwrap();
+            let (started, ended, timed_out) = match registry.state(id) {
+                Some(iosched_slurm::JobState::Completed { started, ended }) => {
+                    (started, ended, false)
+                }
+                Some(iosched_slurm::JobState::TimedOut { started, ended }) => {
+                    (started, ended, true)
+                }
+                _ => unreachable!(),
+            };
+            JobRecord {
+                id,
+                name: meta.name.clone(),
+                submit: meta.submit,
+                start: started,
+                end: ended,
+                timed_out,
+            }
+        })
+        .collect();
+    result.jobs.sort_by_key(|r| r.id);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iosched_simkit::units::{gib, gibps};
+    use iosched_workloads::{JobSubmission, WorkloadBuilder};
+
+    fn tiny_workload() -> Vec<JobSubmission> {
+        // 2 waves of 4 write×4 + 6 short sleeps on a small volume: quick.
+        WorkloadBuilder::new()
+            .waves(2, |b| {
+                b.batch(
+                    4,
+                    "write_x4",
+                    ExecSpec::write_xn(4, gib(2.0)),
+                    SimDuration::from_secs(600),
+                )
+                .batch(
+                    6,
+                    "sleep",
+                    ExecSpec::sleep(SimDuration::from_secs(30)),
+                    SimDuration::from_secs(60),
+                )
+            })
+            .build()
+    }
+
+    fn quick_cfg(kind: SchedulerKind) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::paper(kind, 7);
+        cfg.fs = LustreConfig::stria().noiseless();
+        cfg.nodes = 5;
+        cfg.sched_period = SimDuration::from_secs(5);
+        cfg
+    }
+
+    #[test]
+    fn default_scheduler_completes_workload() {
+        let res = run_experiment(&quick_cfg(SchedulerKind::DefaultBackfill), &tiny_workload());
+        assert_eq!(res.jobs.len(), 20);
+        assert!(res.makespan_secs > 0.0);
+        assert!(res.sched_passes > 0);
+        // Starts never precede submissions; ends never precede starts.
+        for j in &res.jobs {
+            assert!(j.start >= j.submit);
+            assert!(j.end >= j.start);
+        }
+        // All sampled node counts within the cluster size.
+        assert!(res.nodes_trace.max_value().unwrap() <= 5.0);
+    }
+
+    #[test]
+    fn io_aware_respects_limit_on_average() {
+        let limit = gibps(3.0);
+        let res = run_experiment(
+            &quick_cfg(SchedulerKind::IoAware { limit_bps: limit }),
+            &tiny_workload(),
+        );
+        assert_eq!(res.jobs.len(), 20);
+        // The scheduler plans below the limit; transient measurement
+        // excursions are possible, so check the time-average.
+        assert!(
+            res.mean_throughput_bps() < limit * 1.2,
+            "mean {} vs limit {}",
+            res.mean_throughput_bps(),
+            limit
+        );
+    }
+
+    #[test]
+    fn adaptive_completes_and_records_traces() {
+        let res = run_experiment(
+            &quick_cfg(SchedulerKind::Adaptive {
+                limit_bps: gibps(20.0),
+                two_group: true,
+            }),
+            &tiny_workload(),
+        );
+        assert_eq!(res.jobs.len(), 20);
+        assert!(res.throughput_trace.len() > 10);
+        assert!(res.nodes_trace.len() > 10);
+        assert_eq!(res.label, "adaptive-20");
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let cfg = quick_cfg(SchedulerKind::Adaptive {
+            limit_bps: gibps(20.0),
+            two_group: true,
+        });
+        let w = tiny_workload();
+        let a = run_experiment(&cfg, &w);
+        let b = run_experiment(&cfg, &w);
+        assert_eq!(a.makespan_secs, b.makespan_secs);
+        let starts_a: Vec<SimTime> = a.jobs.iter().map(|j| j.start).collect();
+        let starts_b: Vec<SimTime> = b.jobs.iter().map(|j| j.start).collect();
+        assert_eq!(starts_a, starts_b);
+    }
+
+    #[test]
+    fn untrained_runs_still_complete() {
+        let mut cfg = quick_cfg(SchedulerKind::Adaptive {
+            limit_bps: gibps(20.0),
+            two_group: true,
+        });
+        cfg.pretrained = false;
+        let res = run_experiment(&cfg, &tiny_workload());
+        assert_eq!(res.jobs.len(), 20);
+    }
+
+    #[test]
+    fn priority_policy_reorders_dispatch() {
+        // Two batches on a 1-node cluster: low priority first in FIFO
+        // order, high priority second. Under Priority ordering the
+        // high-priority job runs first.
+        let w = WorkloadBuilder::new()
+            .priority(1)
+            .batch(
+                1,
+                "low",
+                ExecSpec::sleep(SimDuration::from_secs(20)),
+                SimDuration::from_secs(40),
+            )
+            .priority(9)
+            .batch(
+                1,
+                "high",
+                ExecSpec::sleep(SimDuration::from_secs(20)),
+                SimDuration::from_secs(40),
+            )
+            .build();
+        let mut cfg = quick_cfg(SchedulerKind::DefaultBackfill);
+        cfg.nodes = 1;
+        cfg.priority_policy = PriorityPolicy::Priority;
+        let res = run_experiment(&cfg, &w);
+        let high = res.jobs.iter().find(|j| j.name == "high").unwrap();
+        let low = res.jobs.iter().find(|j| j.name == "low").unwrap();
+        assert!(high.start < low.start, "{res:?}");
+
+        // FIFO keeps submission order.
+        let mut cfg = quick_cfg(SchedulerKind::DefaultBackfill);
+        cfg.nodes = 1;
+        let res = run_experiment(&cfg, &w);
+        let high = res.jobs.iter().find(|j| j.name == "high").unwrap();
+        let low = res.jobs.iter().find(|j| j.name == "low").unwrap();
+        assert!(low.start < high.start);
+    }
+
+    #[test]
+    fn queue_depth_cap_defers_deep_jobs() {
+        // 1-node cluster, 3 sleeps; with depth 1, only the head is
+        // examined each round — later jobs still run eventually.
+        let w = WorkloadBuilder::new()
+            .batch(
+                3,
+                "s",
+                ExecSpec::sleep(SimDuration::from_secs(10)),
+                SimDuration::from_secs(20),
+            )
+            .build();
+        let mut cfg = quick_cfg(SchedulerKind::DefaultBackfill);
+        cfg.nodes = 1;
+        cfg.max_queue_depth = 1;
+        let res = run_experiment(&cfg, &w);
+        assert_eq!(res.jobs.len(), 3);
+        let mut starts: Vec<_> = res.jobs.iter().map(|j| j.start).collect();
+        starts.sort();
+        assert!(starts[2] >= SimTime::from_secs(20));
+    }
+
+    #[test]
+    fn easy_backfill_mode_completes() {
+        let mut cfg = quick_cfg(SchedulerKind::DefaultBackfill);
+        cfg.backfill_max = 1;
+        let res = run_experiment(&cfg, &tiny_workload());
+        assert_eq!(res.jobs.len(), 20);
+    }
+
+    #[test]
+    fn windowed_quantile_predictor_works_in_the_loop() {
+        use iosched_analytics::PredictorKind;
+        let mut cfg = quick_cfg(SchedulerKind::Adaptive {
+            limit_bps: gibps(20.0),
+            two_group: true,
+        });
+        cfg.analytics.predictor = PredictorKind::WindowedQuantile {
+            window: 5,
+            quantile: 0.5,
+        };
+        let res = run_experiment(&cfg, &tiny_workload());
+        assert_eq!(res.jobs.len(), 20);
+    }
+
+    #[test]
+    fn dependency_chains_serialize_workflow_stages() {
+        // preprocess → simulate → archive: stages must not overlap even
+        // though plenty of nodes are free.
+        let w = WorkloadBuilder::new()
+            .batch(
+                2,
+                "preprocess",
+                ExecSpec::sleep(SimDuration::from_secs(20)),
+                SimDuration::from_secs(40),
+            )
+            .after_previous()
+            .batch(
+                2,
+                "simulate",
+                ExecSpec::sleep(SimDuration::from_secs(30)),
+                SimDuration::from_secs(60),
+            )
+            .after_previous()
+            .batch(
+                1,
+                "archive",
+                ExecSpec::write_xn(2, gib(0.9)),
+                SimDuration::from_secs(60),
+            )
+            .build();
+        let res = run_experiment(&quick_cfg(SchedulerKind::DefaultBackfill), &w);
+        assert_eq!(res.jobs.len(), 5);
+        let stage_end = |name: &str| {
+            res.jobs
+                .iter()
+                .filter(|j| j.name == name)
+                .map(|j| j.end)
+                .max()
+                .unwrap()
+        };
+        let stage_start = |name: &str| {
+            res.jobs
+                .iter()
+                .filter(|j| j.name == name)
+                .map(|j| j.start)
+                .min()
+                .unwrap()
+        };
+        assert!(stage_start("simulate") >= stage_end("preprocess"));
+        assert!(stage_start("archive") >= stage_end("simulate"));
+    }
+
+    #[test]
+    fn packing_scheduler_completes_workloads() {
+        let res = run_experiment(
+            &quick_cfg(SchedulerKind::Packing {
+                limit_bps: gibps(20.0),
+            }),
+            &tiny_workload(),
+        );
+        assert_eq!(res.jobs.len(), 20);
+        assert_eq!(res.label, "packing-20");
+        assert!(res.nodes_trace.max_value().unwrap() <= 5.0);
+    }
+
+    #[test]
+    fn limit_enforcement_kills_overrunning_jobs() {
+        // Sleeps of 300 s with a 60 s limit: with enforcement on, they
+        // are killed at the limit; with it off they run to completion.
+        let w = WorkloadBuilder::new()
+            .batch(
+                4,
+                "long_sleep",
+                ExecSpec::sleep(SimDuration::from_secs(300)),
+                SimDuration::from_secs(60),
+            )
+            .build();
+        let mut cfg = quick_cfg(SchedulerKind::DefaultBackfill);
+        cfg.enforce_limits = true;
+        let res = run_experiment(&cfg, &w);
+        assert_eq!(res.jobs.len(), 4);
+        assert!(res.jobs.iter().all(|j| j.timed_out));
+        for j in &res.jobs {
+            assert!((j.runtime().as_secs_f64() - 60.0).abs() < 2.0, "{j:?}");
+        }
+        assert!(res.makespan_secs < 100.0);
+
+        let mut cfg = quick_cfg(SchedulerKind::DefaultBackfill);
+        cfg.enforce_limits = false;
+        let res = run_experiment(&cfg, &w);
+        assert!(res.jobs.iter().all(|j| !j.timed_out));
+        assert!(res.makespan_secs >= 300.0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(SchedulerKind::DefaultBackfill.label(), "default");
+        assert_eq!(
+            SchedulerKind::IoAware {
+                limit_bps: gibps(15.0)
+            }
+            .label(),
+            "io-aware-15"
+        );
+        assert_eq!(
+            SchedulerKind::Adaptive {
+                limit_bps: gibps(20.0),
+                two_group: false
+            }
+            .label(),
+            "adaptive-naive-20"
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Experiment driver and figure harnesses.
+//!
+//! This crate is the counterpart of the paper's evaluation setup: it wires
+//! the Slurm-like scheduler (with a chosen policy), the cluster/Lustre
+//! simulator, the LDMS-like monitoring daemon and the analytical services
+//! into one event loop ([`driver`]), runs the paper's workloads under each
+//! scheduler configuration, and regenerates every figure of the paper's
+//! evaluation section:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig3` | Fig. 3 (a–e): Workload 1 traces + makespans |
+//! | `fig4` | Fig. 4: throughput vs. concurrent write×8 jobs (box plots) |
+//! | `fig5` | Fig. 5 (a–e): Workload 2 traces + makespans |
+//! | `fig6` | Fig. 6: Workload 2 makespan swarm + medians |
+//! | `summary` | §VI/§VII headline numbers, paper vs. measured |
+//!
+//! Multi-seed campaigns fan out across threads ([`campaign`]).
+
+pub mod campaign;
+pub mod config;
+pub mod driver;
+pub mod figures;
+pub mod metrics;
+pub mod pretrain;
+
+pub use campaign::{representative_run, run_campaign, CampaignResult};
+pub use driver::{
+    run_experiment, ExperimentConfig, ExperimentResult, JobRecord, SchedulerKind,
+};
+pub use metrics::{per_class_metrics, scheduling_metrics, SchedulingMetrics};
+pub use pretrain::pretrain_isolated;

@@ -1,0 +1,137 @@
+//! Per-round estimate snapshot.
+//!
+//! At the beginning of every scheduling round the scheduler obtains the
+//! latest job estimates and the measured file-system load from the
+//! analytical services (Algorithm 2, lines 1–2). The [`EstimateBook`] is
+//! that snapshot: immutable for the duration of the round, so every
+//! tracker query within a round sees consistent numbers.
+
+use iosched_analytics::JobEstimate;
+use iosched_simkit::ids::JobId;
+use iosched_simkit::time::SimDuration;
+use std::collections::BTreeMap;
+
+/// Snapshot of `r_j`/`d_j` estimates for all relevant jobs plus the
+/// measured current total throughput `R_now`.
+#[derive(Clone, Debug, Default)]
+pub struct EstimateBook {
+    per_job: BTreeMap<JobId, JobEstimate>,
+    /// Measured current total Lustre throughput, bytes/s.
+    pub measured_total_bps: f64,
+}
+
+impl EstimateBook {
+    /// Empty book (no estimates, zero measured load).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the estimate for one job.
+    pub fn insert(&mut self, job: JobId, estimate: JobEstimate) {
+        self.per_job.insert(job, estimate);
+    }
+
+    /// Estimated throughput `r_j` (bytes/s); 0.0 when the job is unknown —
+    /// the paper's cold-start assumption, backed by the measured-load
+    /// compensation.
+    pub fn r(&self, job: JobId) -> f64 {
+        self.per_job
+            .get(&job)
+            .map_or(0.0, |e| e.throughput_bps.max(0.0))
+    }
+
+    /// Estimated runtime `d_j`; zero when unknown (callers fall back to
+    /// the requested limit where the algorithm needs a duration).
+    pub fn d(&self, job: JobId) -> SimDuration {
+        self.per_job.get(&job).map_or(SimDuration::ZERO, |e| e.runtime)
+    }
+
+    /// Estimated runtime, or `limit` when there is no estimate (or a
+    /// degenerate zero estimate).
+    pub fn d_or(&self, job: JobId, limit: SimDuration) -> SimDuration {
+        let d = self.d(job);
+        if d.is_zero() {
+            limit
+        } else {
+            d
+        }
+    }
+
+    /// Number of jobs with recorded estimates.
+    pub fn len(&self) -> usize {
+        self.per_job.len()
+    }
+
+    /// True when no per-job estimates were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.per_job.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_for_unknown_jobs() {
+        let book = EstimateBook::new();
+        assert_eq!(book.r(JobId(1)), 0.0);
+        assert_eq!(book.d(JobId(1)), SimDuration::ZERO);
+        assert_eq!(
+            book.d_or(JobId(1), SimDuration::from_secs(100)),
+            SimDuration::from_secs(100)
+        );
+        assert!(book.is_empty());
+    }
+
+    #[test]
+    fn recorded_estimates_round_trip() {
+        let mut book = EstimateBook::new();
+        book.insert(
+            JobId(1),
+            JobEstimate {
+                throughput_bps: 5.0,
+                runtime: SimDuration::from_secs(60),
+            },
+        );
+        book.measured_total_bps = 99.0;
+        assert_eq!(book.r(JobId(1)), 5.0);
+        assert_eq!(book.d(JobId(1)), SimDuration::from_secs(60));
+        assert_eq!(
+            book.d_or(JobId(1), SimDuration::from_secs(100)),
+            SimDuration::from_secs(60)
+        );
+        assert_eq!(book.len(), 1);
+    }
+
+    #[test]
+    fn zero_runtime_estimate_falls_back_to_limit() {
+        // A degenerate d̂ = 0 (e.g. a job that was killed instantly) must
+        // not produce zero-length reservations: d_or falls back.
+        let mut book = EstimateBook::new();
+        book.insert(
+            JobId(3),
+            JobEstimate {
+                throughput_bps: 1.0,
+                runtime: SimDuration::ZERO,
+            },
+        );
+        assert_eq!(
+            book.d_or(JobId(3), SimDuration::from_secs(50)),
+            SimDuration::from_secs(50)
+        );
+    }
+
+    #[test]
+    fn negative_throughput_estimates_clamp_to_zero() {
+        let mut book = EstimateBook::new();
+        book.insert(
+            JobId(2),
+            JobEstimate {
+                throughput_bps: -3.0,
+                runtime: SimDuration::from_secs(1),
+            },
+        );
+        assert_eq!(book.r(JobId(2)), 0.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Dot-product ("TETRIS"-style) multi-resource packing — the related-work
+//! comparator of paper §VIII.
+//!
+//! Datacenter multi-resource schedulers (Grandl et al.'s TETRIS, following
+//! Panigrahy et al.'s vector-bin-packing heuristics) ignore queue order
+//! and reservations: each round they greedily start whichever waiting job
+//! maximises the dot product between the job's demand vector and the
+//! remaining capacity vector, until nothing fits. The paper argues this
+//! family is a poor fit for HPC because it provides no reservations and
+//! can starve wide jobs; implementing it lets the benches quantify that
+//! trade-off against backfill on the same workloads.
+//!
+//! Demand vector here: `(n_j / N, r_j / R_limit)` — normalised nodes and
+//! estimated bandwidth, matching the two resources of the paper's setup.
+
+use crate::book::EstimateBook;
+use iosched_simkit::time::SimTime;
+use iosched_slurm::{SchedJob, SchedulingOutcome};
+
+/// Configuration of the packing pass.
+#[derive(Clone, Copy, Debug)]
+pub struct PackingConfig {
+    /// Bandwidth capacity used for the second vector component, bytes/s.
+    pub limit_bps: f64,
+}
+
+/// One greedy packing round: start jobs maximising
+/// `demand · remaining-capacity` until no waiting job fits. Jobs that do
+/// not fit are *skipped* (no reservations — the starvation caveat the
+/// paper raises about this scheduler family).
+pub fn packing_pass(
+    book: &EstimateBook,
+    running: &[iosched_slurm::RunningView<'_>],
+    queue: &[&SchedJob],
+    _now: SimTime,
+    total_nodes: usize,
+    cfg: &PackingConfig,
+) -> SchedulingOutcome {
+    assert!(cfg.limit_bps > 0.0, "limit must be positive");
+    let mut free_nodes = total_nodes as f64;
+    let mut free_bw = cfg.limit_bps;
+    for rv in running {
+        free_nodes -= rv.job.nodes as f64;
+        free_bw -= book.r(rv.job.id).min(cfg.limit_bps);
+    }
+    free_nodes = free_nodes.max(0.0);
+    free_bw = free_bw.max(0.0);
+
+    let mut outcome = SchedulingOutcome::default();
+    let mut candidates: Vec<&SchedJob> = queue.to_vec();
+
+    loop {
+        // Score every candidate that fits.
+        let mut best: Option<(f64, usize)> = None;
+        for (i, job) in candidates.iter().enumerate() {
+            let nodes = job.nodes as f64;
+            let bw = book.r(job.id).min(cfg.limit_bps);
+            if nodes <= free_nodes && bw <= free_bw + 1e-9 {
+                let score = (nodes / total_nodes as f64) * (free_nodes / total_nodes as f64)
+                    + (bw / cfg.limit_bps) * (free_bw / cfg.limit_bps);
+                // Deterministic tie-break: earlier queue position wins.
+                if best.is_none_or(|(s, _)| score > s + 1e-12) {
+                    best = Some((score, i));
+                }
+            }
+        }
+        match best {
+            Some((_, i)) => {
+                let job = candidates.remove(i);
+                free_nodes -= job.nodes as f64;
+                free_bw = (free_bw - book.r(job.id).min(cfg.limit_bps)).max(0.0);
+                outcome.start_now.push(job.id);
+            }
+            None => break,
+        }
+    }
+    outcome.skipped = candidates.iter().map(|j| j.id).collect();
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iosched_analytics::JobEstimate;
+    use iosched_simkit::ids::JobId;
+    use iosched_simkit::time::SimDuration;
+
+    fn job(id: u64, nodes: usize) -> SchedJob {
+        SchedJob::new(
+            JobId(id),
+            format!("j{id}"),
+            nodes,
+            SimDuration::from_secs(100),
+            SimTime::ZERO,
+        )
+    }
+
+    fn book(entries: &[(u64, f64)]) -> EstimateBook {
+        let mut b = EstimateBook::new();
+        for &(id, r) in entries {
+            b.insert(
+                JobId(id),
+                JobEstimate {
+                    throughput_bps: r,
+                    runtime: SimDuration::from_secs(60),
+                },
+            );
+        }
+        b
+    }
+
+    #[test]
+    fn fills_both_dimensions() {
+        // Capacity (10 nodes, 10 bw). Jobs: A(8 nodes, 1 bw),
+        // B(2 nodes, 9 bw), C(5 nodes, 5 bw). A+B exactly fill both
+        // dimensions; C cannot join them.
+        let a = job(1, 8);
+        let b = job(2, 2);
+        let c = job(3, 5);
+        let est = book(&[(1, 1.0), (2, 9.0), (3, 5.0)]);
+        let out = packing_pass(
+            &est,
+            &[],
+            &[&a, &b, &c],
+            SimTime::ZERO,
+            10,
+            &PackingConfig { limit_bps: 10.0 },
+        );
+        assert_eq!(out.start_now.len(), 2);
+        assert!(out.start_now.contains(&JobId(1)));
+        assert!(out.start_now.contains(&JobId(2)));
+        assert_eq!(out.skipped, vec![JobId(3)]);
+    }
+
+    #[test]
+    fn prefers_large_dot_product_over_queue_order() {
+        // Head job is tiny; a later big job scores higher and starts
+        // first (order-free packing — what backfill would never do).
+        let small = job(1, 1);
+        let big = job(2, 9);
+        let est = book(&[(1, 0.0), (2, 0.0)]);
+        let out = packing_pass(
+            &est,
+            &[],
+            &[&small, &big],
+            SimTime::ZERO,
+            10,
+            &PackingConfig { limit_bps: 10.0 },
+        );
+        assert_eq!(out.start_now[0], JobId(2), "{out:?}");
+        assert_eq!(out.start_now[1], JobId(1));
+    }
+
+    #[test]
+    fn respects_running_consumption() {
+        let r1 = job(9, 6);
+        let running = [iosched_slurm::RunningView {
+            job: &r1,
+            started: SimTime::ZERO,
+        }];
+        let a = job(1, 5);
+        let est = book(&[(9, 8.0), (1, 1.0)]);
+        let out = packing_pass(
+            &est,
+            &running,
+            &[&a],
+            SimTime::ZERO,
+            10,
+            &PackingConfig { limit_bps: 10.0 },
+        );
+        // Only 4 nodes free: the 5-node job is skipped.
+        assert!(out.start_now.is_empty());
+        assert_eq!(out.skipped, vec![JobId(1)]);
+    }
+
+    #[test]
+    fn empty_queue_noop() {
+        let out = packing_pass(
+            &EstimateBook::new(),
+            &[],
+            &[],
+            SimTime::ZERO,
+            10,
+            &PackingConfig { limit_bps: 10.0 },
+        );
+        assert_eq!(out, SchedulingOutcome::default());
+    }
+}

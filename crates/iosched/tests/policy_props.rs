@@ -1,0 +1,197 @@
+//! Property-based tests of the I/O-aware and workload-adaptive policies:
+//! arbitrary queues and estimate books never violate the bandwidth
+//! invariants of Algorithms 2–7.
+
+use iosched_analytics::JobEstimate;
+use iosched_core::{AdaptiveConfig, AdaptivePolicy, EstimateBook, IoAwareConfig, IoAwarePolicy};
+use iosched_simkit::ids::JobId;
+use iosched_simkit::time::{SimDuration, SimTime};
+use iosched_slurm::{backfill_pass, BackfillConfig, ResourceProfile, SchedJob};
+use proptest::prelude::*;
+
+fn build_queue(spec: &[(usize, u64, f64, u64)]) -> (Vec<SchedJob>, EstimateBook) {
+    let mut book = EstimateBook::new();
+    let queue: Vec<SchedJob> = spec
+        .iter()
+        .enumerate()
+        .map(|(i, &(nodes, limit, r, d))| {
+            let id = JobId(i as u64);
+            book.insert(
+                id,
+                JobEstimate {
+                    throughput_bps: r,
+                    runtime: SimDuration::from_secs(d),
+                },
+            );
+            SchedJob::new(
+                id,
+                format!("q{i}"),
+                nodes,
+                SimDuration::from_secs(limit),
+                SimTime::ZERO,
+            )
+        })
+        .collect();
+    (queue, book)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The I/O-aware plan (starts + future reservations) never exceeds
+    /// the throughput limit at any instant, for any queue and estimates.
+    #[test]
+    fn io_aware_plan_respects_the_limit(
+        spec in proptest::collection::vec(
+            (1usize..4, 50u64..500, 0.0f64..12.0, 10u64..400),
+            1..25,
+        ),
+        limit in 5.0f64..15.0,
+        measured in 0.0f64..20.0,
+    ) {
+        let (queue, mut book) = build_queue(&spec);
+        book.measured_total_bps = measured;
+        let refs: Vec<&SchedJob> = queue.iter().collect();
+        let mut policy = IoAwarePolicy::new(IoAwareConfig { limit_bps: limit });
+        policy.begin_round(book.clone());
+        let out = backfill_pass(
+            &mut policy,
+            &[],
+            &refs,
+            SimTime::ZERO,
+            100,
+            &BackfillConfig::default(),
+        );
+
+        // Rebuild the bandwidth plan (with the same clamping rule).
+        let mut lt = ResourceProfile::new(limit);
+        let by_id = |id: JobId| queue.iter().find(|j| j.id == id).unwrap();
+        for &id in &out.start_now {
+            let j = by_id(id);
+            lt.reserve(book.r(id).min(limit), SimTime::ZERO, SimTime::ZERO + j.limit);
+        }
+        for &(id, at) in &out.reservations {
+            let j = by_id(id);
+            lt.reserve(book.r(id).min(limit), at, at + j.limit);
+        }
+        let max = lt.max_over(SimTime::ZERO, SimTime::from_secs(10_000));
+        prop_assert!(max <= limit + 1e-6, "bandwidth plan exceeds limit: {max} > {limit}");
+        // Nothing is skipped with an unbounded budget.
+        prop_assert!(out.skipped.is_empty());
+        prop_assert_eq!(out.start_now.len() + out.reservations.len(), queue.len());
+    }
+
+    /// Zero-estimate jobs are never delayed by the I/O-aware policy when
+    /// nodes are free (they cost no bandwidth).
+    #[test]
+    fn io_aware_zero_jobs_start_immediately(
+        n_zero in 1usize..10,
+        n_heavy in 0usize..10,
+        limit in 5.0f64..15.0,
+    ) {
+        let mut spec: Vec<(usize, u64, f64, u64)> = Vec::new();
+        for _ in 0..n_heavy {
+            spec.push((1, 100, limit * 0.9, 50)); // heavy writers
+        }
+        for _ in 0..n_zero {
+            spec.push((1, 100, 0.0, 50)); // zero jobs queued last
+        }
+        let (queue, book) = build_queue(&spec);
+        let refs: Vec<&SchedJob> = queue.iter().collect();
+        let mut policy = IoAwarePolicy::new(IoAwareConfig { limit_bps: limit });
+        policy.begin_round(book);
+        let out = backfill_pass(
+            &mut policy,
+            &[],
+            &refs,
+            SimTime::ZERO,
+            100,
+            &BackfillConfig::default(),
+        );
+        for i in n_heavy..n_heavy + n_zero {
+            prop_assert!(
+                out.start_now.contains(&JobId(i as u64)),
+                "zero job {i} was delayed: {out:?}"
+            );
+        }
+    }
+
+    /// The adaptive tracker's target parameters are internally
+    /// consistent: R̃′ = max(0, R̃ − N·r̄_zero), r̄_zero ≤ r*, and the
+    /// adjusted requirement of every regular job is non-negative.
+    #[test]
+    fn adaptive_round_parameters_consistent(
+        spec in proptest::collection::vec(
+            (1usize..4, 50u64..500, 0.0f64..12.0, 10u64..400),
+            1..25,
+        ),
+        limit in 5.0f64..25.0,
+        qos in 0.1f64..0.9,
+    ) {
+        use iosched_slurm::SchedulingPolicy;
+        let (queue, book) = build_queue(&spec);
+        let refs: Vec<&SchedJob> = queue.iter().collect();
+        let mut policy = AdaptivePolicy::new(AdaptiveConfig {
+            limit_bps: limit,
+            two_group: true,
+            qos_fraction: qos,
+        });
+        policy.begin_round(book.clone());
+        let tracker = policy.init_tracker(&[], &refs, SimTime::ZERO, 16);
+        let params = tracker.params();
+        prop_assert!(params.r_tilde_bps >= 0.0);
+        prop_assert!(params.r_tilde_prime_bps >= 0.0);
+        prop_assert!(
+            params.r_tilde_prime_bps
+                <= (params.r_tilde_bps - 16.0 * params.split.r_zero_bar).max(0.0) + 1e-9
+        );
+        prop_assert!(params.split.r_zero_bar <= params.split.r_star + 1e-9);
+        for j in &queue {
+            let adj = params.adjusted_r(book.r(j.id), j.nodes);
+            prop_assert!(adj >= -1e-9, "negative adjusted requirement: {adj}");
+        }
+        // Eq. (2): zero group carries at least the QoS share of node-time.
+        let total_nt: f64 = queue
+            .iter()
+            .map(|j| j.nodes as f64 * book.d_or(j.id, j.limit).as_secs_f64())
+            .sum();
+        let zero_nt: f64 = queue
+            .iter()
+            .filter(|j| params.split.is_zero(book.r(j.id), j.nodes))
+            .map(|j| j.nodes as f64 * book.d_or(j.id, j.limit).as_secs_f64())
+            .sum();
+        prop_assert!(zero_nt + 1e-6 >= qos * total_nt);
+    }
+
+    /// The adaptive scheduler starts at least as many jobs *now* as pure
+    /// bandwidth capping would suggest it must hold back: every job it
+    /// delays is either a regular job gated by the target, or blocked by
+    /// the hard limit — never a zero job with free nodes.
+    #[test]
+    fn adaptive_never_delays_zero_jobs_with_free_nodes(
+        spec in proptest::collection::vec(
+            (1usize..2, 50u64..300, 0.0f64..10.0, 10u64..200),
+            1..16,
+        ),
+        limit in 8.0f64..20.0,
+    ) {
+        use iosched_slurm::ReservationTracker;
+        use iosched_slurm::SchedulingPolicy;
+        let (queue, book) = build_queue(&spec);
+        let refs: Vec<&SchedJob> = queue.iter().collect();
+        let mut policy = AdaptivePolicy::new(AdaptiveConfig::paper(limit));
+        policy.begin_round(book.clone());
+        let mut tracker = policy.init_tracker(&[], &refs, SimTime::ZERO, 100);
+        // On an empty 100-node cluster, every zero-group job must be
+        // startable immediately (zero jobs skip the AT gate and have
+        // bandwidth clamped within the limit... zero jobs have ρ ≤ r*,
+        // whose reserved r may still hit the hard limit; so only check
+        // true r = 0 jobs).
+        for j in &queue {
+            if book.r(j.id) == 0.0 {
+                let t = tracker.earliest_start(j, SimTime::ZERO);
+                prop_assert_eq!(t, SimTime::ZERO, "true zero job delayed");
+            }
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! The sampling daemon.
+//!
+//! In the real deployment an LDMS daemon on every compute node reads the
+//! Lustre-client (`llite`) counters once per second and streams them to
+//! the store. In simulation the experiment driver plays the role of the
+//! transport: at each sampling tick it hands the daemon the current
+//! file-system load (aggregate and per job), and the daemon appends the
+//! corresponding records.
+
+use crate::store::{MetricStore, Record, SCHEMA_FS_TOTAL, SCHEMA_JOB_IO, SCHEMA_NODES_BUSY};
+use iosched_simkit::time::{SimDuration, SimTime};
+
+/// Sampling daemon state: the store plus the sampling cadence.
+pub struct LdmsDaemon {
+    store: MetricStore,
+    period: SimDuration,
+    next_sample: SimTime,
+}
+
+impl LdmsDaemon {
+    /// A daemon sampling every `period` (paper setup: 1 s).
+    pub fn new(period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "sampling period must be positive");
+        LdmsDaemon {
+            store: MetricStore::new(),
+            period,
+            next_sample: SimTime::ZERO,
+        }
+    }
+
+    /// Sampling period.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// The next instant a sample is due.
+    pub fn next_sample_at(&self) -> SimTime {
+        self.next_sample
+    }
+
+    /// Record one sampling tick. `total_bps` is the aggregate file-system
+    /// throughput; `per_job_bps` lists every running job's current
+    /// throughput (jobs with no I/O may be listed with 0.0 or omitted —
+    /// the estimator treats both the same); `busy_nodes` is the allocated
+    /// node count. Advances the sampling clock.
+    pub fn sample(
+        &mut self,
+        t: SimTime,
+        total_bps: f64,
+        per_job_bps: &[(u64, f64)],
+        busy_nodes: usize,
+    ) {
+        self.store.append(
+            SCHEMA_FS_TOTAL,
+            Record {
+                time: t,
+                key: 0,
+                value: total_bps,
+            },
+        );
+        for &(job, bps) in per_job_bps {
+            self.store.append(
+                SCHEMA_JOB_IO,
+                Record {
+                    time: t,
+                    key: job,
+                    value: bps,
+                },
+            );
+        }
+        self.store.append(
+            SCHEMA_NODES_BUSY,
+            Record {
+                time: t,
+                key: 0,
+                value: busy_nodes as f64,
+            },
+        );
+        self.next_sample = t + self.period;
+    }
+
+    /// Read access for the analytical services.
+    pub fn store(&self) -> &MetricStore {
+        &self.store
+    }
+
+    /// Mean aggregate throughput over the trailing `window` ending at `now`
+    /// (the measured `R_now` of paper Algorithm 2, line 2). Returns 0.0
+    /// when no samples exist in the window (cold start).
+    pub fn measured_total_bps(&self, now: SimTime, window: SimDuration) -> f64 {
+        let from = SimTime::from_millis(now.as_millis().saturating_sub(window.as_millis()));
+        self.store
+            .container(SCHEMA_FS_TOTAL)
+            .and_then(|c| c.mean_for_key(0, from, now + SimDuration::from_millis(1)))
+            .unwrap_or(0.0)
+    }
+
+    /// Bytes attributed to `job` by the sampled records over
+    /// `[start, end)` — the measured volume used to estimate `r_j`.
+    pub fn job_bytes(&self, job: u64, start: SimTime, end: SimTime) -> f64 {
+        self.store
+            .container(SCHEMA_JOB_IO)
+            .map(|c| c.integrate_for_key(job, start, end))
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_advances_clock() {
+        let mut d = LdmsDaemon::new(SimDuration::from_secs(1));
+        assert_eq!(d.next_sample_at(), SimTime::ZERO);
+        d.sample(SimTime::ZERO, 5.0, &[(1, 5.0)], 3);
+        assert_eq!(d.next_sample_at(), SimTime::from_secs(1));
+        assert_eq!(d.store().container(SCHEMA_FS_TOTAL).unwrap().len(), 1);
+        assert_eq!(d.store().container(SCHEMA_NODES_BUSY).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn windowed_total_average() {
+        let mut d = LdmsDaemon::new(SimDuration::from_secs(1));
+        for s in 0..10 {
+            d.sample(SimTime::from_secs(s), s as f64, &[], 0);
+        }
+        // Trailing 4-second window at t=9 covers samples at 5..=9... the
+        // window [5, 9] inclusive of both ends per implementation.
+        let avg = d.measured_total_bps(SimTime::from_secs(9), SimDuration::from_secs(4));
+        assert!((avg - 7.0).abs() < 1e-9, "avg {avg}");
+        // Cold start: empty window.
+        let d2 = LdmsDaemon::new(SimDuration::from_secs(1));
+        assert_eq!(
+            d2.measured_total_bps(SimTime::from_secs(9), SimDuration::from_secs(4)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn job_bytes_integrates_samples() {
+        let mut d = LdmsDaemon::new(SimDuration::from_secs(1));
+        // Job 7 writes at 100 B/s for 5 samples.
+        for s in 0..5 {
+            d.sample(SimTime::from_secs(s), 100.0, &[(7, 100.0)], 1);
+        }
+        let bytes = d.job_bytes(7, SimTime::ZERO, SimTime::from_secs(5));
+        assert!((bytes - 500.0).abs() < 1e-9, "bytes {bytes}");
+        assert_eq!(d.job_bytes(8, SimTime::ZERO, SimTime::from_secs(5)), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_period_panics() {
+        LdmsDaemon::new(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn sparse_samples_average_what_exists() {
+        let mut d = LdmsDaemon::new(SimDuration::from_secs(1));
+        // Only two samples land in a 30 s window.
+        d.sample(SimTime::from_secs(0), 4.0, &[], 1);
+        d.sample(SimTime::from_secs(29), 8.0, &[], 1);
+        let avg = d.measured_total_bps(SimTime::from_secs(29), SimDuration::from_secs(30));
+        assert_eq!(avg, 6.0);
+        // A window that covers no samples returns 0.
+        assert_eq!(
+            d.measured_total_bps(SimTime::from_secs(200), SimDuration::from_secs(10)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn job_bytes_outside_sampled_span_is_zero() {
+        let mut d = LdmsDaemon::new(SimDuration::from_secs(1));
+        d.sample(SimTime::from_secs(5), 10.0, &[(1, 10.0)], 1);
+        assert_eq!(d.job_bytes(1, SimTime::ZERO, SimTime::from_secs(5)), 0.0);
+    }
+}

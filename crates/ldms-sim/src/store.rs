@@ -1,0 +1,294 @@
+//! SOS-like metric store.
+//!
+//! SOS (Scalable Object Store) keeps LDMS samples as time-indexed records
+//! in schema-named containers. The simulation equivalent: a
+//! [`MetricStore`] maps container names to [`Container`]s; each container
+//! is an append-only, time-ordered vector of [`Record`]s (timestamp,
+//! 64-bit key, value) with binary-search range queries and windowed
+//! aggregation. Keys identify the sampled entity (job id, node index);
+//! containers that sample a single global quantity use key 0.
+
+use iosched_simkit::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One stored sample.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    pub time: SimTime,
+    /// Entity key (job id / node index / 0 for global metrics).
+    pub key: u64,
+    pub value: f64,
+}
+
+/// A time-ordered, append-only record container.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Container {
+    records: Vec<Record>,
+}
+
+impl Container {
+    /// Append a record. Timestamps must be non-decreasing (LDMS samples
+    /// arrive in order).
+    pub fn append(&mut self, rec: Record) {
+        if let Some(last) = self.records.last() {
+            assert!(
+                rec.time >= last.time,
+                "records must be appended in time order"
+            );
+        }
+        self.records.push(rec);
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if the container holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records with `from ≤ time < to`, in time order.
+    pub fn range(&self, from: SimTime, to: SimTime) -> &[Record] {
+        let lo = self.records.partition_point(|r| r.time < from);
+        let hi = self.records.partition_point(|r| r.time < to);
+        &self.records[lo..hi]
+    }
+
+    /// Records for one key within `[from, to)`.
+    pub fn range_for_key(
+        &self,
+        key: u64,
+        from: SimTime,
+        to: SimTime,
+    ) -> impl Iterator<Item = &Record> {
+        self.range(from, to).iter().filter(move |r| r.key == key)
+    }
+
+    /// Mean value over `[from, to)` for a key; `None` when no samples.
+    pub fn mean_for_key(&self, key: u64, from: SimTime, to: SimTime) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for r in self.range_for_key(key, from, to) {
+            sum += r.value;
+            n += 1;
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
+        }
+    }
+
+    /// Riemann-sum integral of a key's sampled rate over `[from, to)`:
+    /// each sample's value is held until the next sample of that key
+    /// (or `to`). Used to turn sampled throughput into bytes.
+    pub fn integrate_for_key(&self, key: u64, from: SimTime, to: SimTime) -> f64 {
+        let mut acc = 0.0;
+        let mut prev: Option<(SimTime, f64)> = None;
+        for r in self.range_for_key(key, from, to) {
+            if let Some((pt, pv)) = prev {
+                acc += pv * (r.time.saturating_since(pt)).as_secs_f64();
+            }
+            prev = Some((r.time, r.value));
+        }
+        if let Some((pt, pv)) = prev {
+            acc += pv * (to.saturating_since(pt)).as_secs_f64();
+        }
+        acc
+    }
+
+    /// The latest record at or before `t` for a key.
+    pub fn latest_for_key(&self, key: u64, t: SimTime) -> Option<&Record> {
+        let hi = self
+            .records
+            .partition_point(|r| r.time <= t);
+        self.records[..hi].iter().rev().find(|r| r.key == key)
+    }
+
+    /// Downsample one key's series over `[from, to)` into buckets of
+    /// `bucket_ms` milliseconds, averaging the samples in each bucket
+    /// (empty buckets yield `None`). This is the long-term-storage
+    /// compaction SOS deployments run to keep year-long archives
+    /// queryable.
+    pub fn downsample_for_key(
+        &self,
+        key: u64,
+        from: SimTime,
+        to: SimTime,
+        bucket_ms: u64,
+    ) -> Vec<(SimTime, Option<f64>)> {
+        assert!(bucket_ms > 0, "bucket size must be positive");
+        let mut out = Vec::new();
+        let mut bucket_start = from;
+        while bucket_start < to {
+            let bucket_end =
+                SimTime::from_millis(bucket_start.as_millis() + bucket_ms).min(to);
+            out.push((
+                bucket_start,
+                self.mean_for_key(key, bucket_start, bucket_end),
+            ));
+            bucket_start = bucket_end;
+        }
+        out
+    }
+
+    /// Distinct keys present in `[from, to)` (e.g. the jobs that did I/O
+    /// in a window).
+    pub fn keys_in_range(&self, from: SimTime, to: SimTime) -> Vec<u64> {
+        let mut keys: Vec<u64> = self.range(from, to).iter().map(|r| r.key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+}
+
+/// Named containers, one per metric schema.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct MetricStore {
+    containers: BTreeMap<String, Container>,
+}
+
+/// Schema name for aggregate file-system throughput samples (key 0,
+/// value = bytes/s).
+pub const SCHEMA_FS_TOTAL: &str = "lustre_fs_total";
+/// Schema name for per-job throughput samples (key = job id,
+/// value = bytes/s).
+pub const SCHEMA_JOB_IO: &str = "lustre_job_io";
+/// Schema name for allocated-node-count samples (key 0, value = nodes).
+pub const SCHEMA_NODES_BUSY: &str = "nodes_busy";
+
+impl MetricStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get (or lazily create) a container.
+    pub fn container_mut(&mut self, schema: &str) -> &mut Container {
+        self.containers.entry(schema.to_string()).or_default()
+    }
+
+    /// Read access to a container; `None` if nothing was ever recorded.
+    pub fn container(&self, schema: &str) -> Option<&Container> {
+        self.containers.get(schema)
+    }
+
+    /// Convenience: append to a named container.
+    pub fn append(&mut self, schema: &str, rec: Record) {
+        self.container_mut(schema).append(rec);
+    }
+
+    /// Names of all containers.
+    pub fn schemas(&self) -> impl Iterator<Item = &str> {
+        self.containers.keys().map(|s| s.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn rec(ts: u64, key: u64, value: f64) -> Record {
+        Record {
+            time: t(ts),
+            key,
+            value,
+        }
+    }
+
+    #[test]
+    fn range_queries() {
+        let mut c = Container::default();
+        for i in 0..10 {
+            c.append(rec(i, 0, i as f64));
+        }
+        assert_eq!(c.len(), 10);
+        let r = c.range(t(3), t(6));
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0].value, 3.0);
+        assert_eq!(c.range(t(20), t(30)).len(), 0);
+        assert_eq!(c.range(t(5), t(5)).len(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_order_append_panics() {
+        let mut c = Container::default();
+        c.append(rec(5, 0, 1.0));
+        c.append(rec(3, 0, 1.0));
+    }
+
+    #[test]
+    fn per_key_queries() {
+        let mut c = Container::default();
+        c.append(rec(0, 1, 10.0));
+        c.append(rec(0, 2, 20.0));
+        c.append(rec(1, 1, 30.0));
+        c.append(rec(1, 2, 40.0));
+        assert_eq!(c.range_for_key(1, t(0), t(2)).count(), 2);
+        assert_eq!(c.mean_for_key(1, t(0), t(2)), Some(20.0));
+        assert_eq!(c.mean_for_key(9, t(0), t(2)), None);
+        assert_eq!(c.latest_for_key(2, t(0)).unwrap().value, 20.0);
+        assert_eq!(c.latest_for_key(2, t(5)).unwrap().value, 40.0);
+        assert!(c.latest_for_key(9, t(5)).is_none());
+    }
+
+    #[test]
+    fn integration_holds_samples_until_next() {
+        let mut c = Container::default();
+        // Rate 10 B/s during [0, 2), then 20 B/s during [2, 5).
+        c.append(rec(0, 7, 10.0));
+        c.append(rec(2, 7, 20.0));
+        let bytes = c.integrate_for_key(7, t(0), t(5));
+        assert!((bytes - (10.0 * 2.0 + 20.0 * 3.0)).abs() < 1e-9);
+        // Empty window.
+        assert_eq!(c.integrate_for_key(7, t(10), t(20)), 0.0);
+    }
+
+    #[test]
+    fn downsampling_buckets_and_averages() {
+        let mut c = Container::default();
+        for i in 0..10 {
+            c.append(rec(i, 1, i as f64));
+        }
+        // 4-second buckets over [0, 10): means of {0..3}, {4..7}, {8, 9}.
+        let ds = c.downsample_for_key(1, t(0), t(10), 4000);
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds[0].1, Some(1.5));
+        assert_eq!(ds[1].1, Some(5.5));
+        assert_eq!(ds[2].1, Some(8.5));
+        // A key with no samples produces empty buckets.
+        let ds = c.downsample_for_key(9, t(0), t(8), 4000);
+        assert!(ds.iter().all(|(_, v)| v.is_none()));
+    }
+
+    #[test]
+    fn keys_in_range_deduplicates() {
+        let mut c = Container::default();
+        c.append(rec(0, 5, 1.0));
+        c.append(rec(1, 3, 1.0));
+        c.append(rec(2, 5, 1.0));
+        assert_eq!(c.keys_in_range(t(0), t(10)), vec![3, 5]);
+        assert_eq!(c.keys_in_range(t(1), t(2)), vec![3]);
+        assert!(c.keys_in_range(t(5), t(9)).is_empty());
+    }
+
+    #[test]
+    fn store_routes_schemas() {
+        let mut s = MetricStore::new();
+        s.append(SCHEMA_FS_TOTAL, rec(0, 0, 5.0));
+        s.append(SCHEMA_JOB_IO, rec(0, 42, 1.0));
+        assert_eq!(s.container(SCHEMA_FS_TOTAL).unwrap().len(), 1);
+        assert_eq!(s.container(SCHEMA_JOB_IO).unwrap().len(), 1);
+        assert!(s.container("absent").is_none());
+        let names: Vec<&str> = s.schemas().collect();
+        assert_eq!(names, vec![SCHEMA_FS_TOTAL, SCHEMA_JOB_IO]);
+    }
+}

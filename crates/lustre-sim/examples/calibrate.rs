@@ -1,0 +1,41 @@
+//! Calibration scan for the Lustre model.
+//!
+//! Prints the Fig.-4-style sustained-throughput medians for a grid of
+//! (per-OST bandwidth, interference γ, per-stream cap) so the model can be
+//! tuned to the paper's reported profile: single write×8 job a few GiB/s,
+//! saturation near 15 GiB/s sustained at 15 concurrent jobs, concave rise.
+//!
+//! Run: `cargo run --release -p iosched-lustre --example calibrate`
+
+use iosched_lustre::config::LustreConfig;
+use iosched_lustre::probe::{fig4_sweep, ProbeConfig};
+use iosched_simkit::units::{gibps, to_gibps};
+
+fn main() {
+    let probe = ProbeConfig::default();
+    println!("b_ost  gamma  s_cap |  k=1    k=2    k=4    k=8    k=12   k=15");
+    for &b_ost in &[0.45, 0.55, 0.7, 0.9] {
+        for &gamma in &[0.1, 0.2, 0.3, 0.5, 0.8] {
+            for &s_cap in &[0.45, 0.6] {
+                let mut cfg = LustreConfig::stria().noiseless();
+                cfg.ost_bandwidth_bps = gibps(b_ost);
+                cfg.interference_gamma = gamma;
+                cfg.stream_cap_bps = gibps(s_cap);
+                let rows = fig4_sweep(&cfg, &probe, 15, 42);
+                let med = |k: usize| to_gibps(rows[k].stats.median);
+                println!(
+                    "{:5.2} {:6.2} {:6.2} | {:5.1}  {:5.1}  {:5.1}  {:5.1}  {:5.1}  {:5.1}",
+                    b_ost,
+                    gamma,
+                    s_cap,
+                    med(1),
+                    med(2),
+                    med(4),
+                    med(8),
+                    med(12),
+                    med(15)
+                );
+            }
+        }
+    }
+}

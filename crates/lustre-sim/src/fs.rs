@@ -1,0 +1,839 @@
+//! The file-system state machine.
+//!
+//! [`LustreSim`] is a fluid (rate-based) model: at any instant every active
+//! stream has an allocated rate, and state advances by integrating those
+//! rates over time. Rates change only at *change events* — stream start,
+//! stream completion, or a noise epoch — so between events progress is
+//! linear and the next completion time is exact.
+//!
+//! The host event loop drives the model with three calls:
+//!
+//! 1. [`LustreSim::advance_to`] — integrate progress up to "now"
+//!    (internally stepping across noise epochs);
+//! 2. [`LustreSim::take_completed`] — harvest streams that finished;
+//! 3. [`LustreSim::next_change_time`] — when to wake up next.
+
+use crate::config::LustreConfig;
+use crate::solver::{max_min_fair, Constraint};
+use crate::stream::{Direction, StreamId, StreamState, StreamTag};
+use iosched_simkit::rng::SimRng;
+use iosched_simkit::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Tolerance for "stream is finished", in bytes. A fraction of one block;
+/// avoids scheduling zero-length progress steps from float round-off.
+const DONE_EPS_BYTES: f64 = 1.0;
+
+/// A point-in-time view of file-system load, used by the monitoring
+/// substrate to build metric samples.
+#[derive(Clone, Debug, Default)]
+pub struct FsSnapshot {
+    /// Aggregate allocated rate, bytes/s.
+    pub total_bps: f64,
+    /// Aggregate write rate, bytes/s.
+    pub write_bps: f64,
+    /// Aggregate read rate, bytes/s.
+    pub read_bps: f64,
+    /// Allocated rate per compute node index, bytes/s.
+    pub per_node_bps: BTreeMap<usize, f64>,
+    /// Allocated rate per owner tag (job), bytes/s.
+    pub per_tag_bps: BTreeMap<StreamTag, f64>,
+    /// Number of active streams.
+    pub active_streams: usize,
+}
+
+/// Fluid simulation of the parallel file system.
+pub struct LustreSim {
+    cfg: LustreConfig,
+    rng: SimRng,
+    now: SimTime,
+    next_stream_id: u64,
+    streams: BTreeMap<StreamId, StreamState>,
+    /// Streams that reached zero remaining bytes, with their completion
+    /// times, waiting to be harvested by the host.
+    completed: Vec<(SimTime, StreamId, StreamState)>,
+    /// Release notifications awaiting harvest (burst-buffer semantics).
+    notified: Vec<(SimTime, StreamId, StreamTag)>,
+    /// Multiplicative noise factor per OST for the current epoch.
+    noise: Vec<f64>,
+    /// Fatigue level per OST ∈ [0, 1]: sustained multi-stream pressure
+    /// drives it toward 1 (degrading effective bandwidth by
+    /// `1 − φ·fatigue`), idleness lets it recover.
+    fatigue: Vec<f64>,
+    /// Administrative health factor per OST (1.0 = nominal). Used by
+    /// failure-injection experiments: a degraded volume (failing SSD,
+    /// rebuilding RAID) delivers `health ×` its nominal bandwidth until
+    /// restored. This is the "intermittent file-system degradation" the
+    /// AI4IO canary (paper §VIII) is designed to detect.
+    health: Vec<f64>,
+    /// Start of the next epoch tick (noise resample and/or fatigue
+    /// re-solve while streams are active).
+    next_noise_at: SimTime,
+    /// Total bytes written since construction (ground truth, for tests).
+    bytes_written_total: f64,
+}
+
+impl LustreSim {
+    /// Create a file system from a validated config and a dedicated RNG
+    /// stream (fork it from the experiment's master seed).
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: LustreConfig, mut rng: SimRng) -> Self {
+        cfg.validate().expect("invalid LustreConfig");
+        let mut noise = vec![1.0; cfg.n_ost];
+        if cfg.noise_sigma > 0.0 {
+            for f in noise.iter_mut() {
+                *f = rng.lognormal(1.0, cfg.noise_sigma);
+            }
+        }
+        let next_noise_at = if cfg.noise_sigma > 0.0 || cfg.fatigue_phi > 0.0 {
+            SimTime::ZERO + cfg.noise_epoch
+        } else {
+            SimTime::FAR_FUTURE
+        };
+        LustreSim {
+            fatigue: vec![0.0; cfg.n_ost],
+            health: vec![1.0; cfg.n_ost],
+            cfg,
+            rng,
+            now: SimTime::ZERO,
+            next_stream_id: 0,
+            streams: BTreeMap::new(),
+            completed: Vec::new(),
+            notified: Vec::new(),
+            noise,
+            next_noise_at,
+            bytes_written_total: 0.0,
+        }
+    }
+
+    /// The model's current time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LustreConfig {
+        &self.cfg
+    }
+
+    /// Begin `n_threads` write streams from `node`, each writing
+    /// `bytes_per_thread` to a randomly chosen OST (the paper's workload
+    /// writes each thread's file to a randomly chosen Lustre volume).
+    /// Advances the model to `t` first.
+    pub fn start_write(
+        &mut self,
+        t: SimTime,
+        tag: StreamTag,
+        node: usize,
+        n_threads: usize,
+        bytes_per_thread: f64,
+    ) -> Vec<StreamId> {
+        self.start_transfer(t, tag, node, n_threads, bytes_per_thread, Direction::Write, 0.0)
+    }
+
+    /// Like [`Self::start_write`] but with a burst-buffer release: each
+    /// thread is *released* (a notification is emitted, harvested via
+    /// [`Self::take_notified`]) once its remaining volume fits in
+    /// `release_bytes_per_thread`; the stream keeps draining to the OSTs
+    /// afterwards. `release ≥ volume` releases immediately.
+    pub fn start_write_buffered(
+        &mut self,
+        t: SimTime,
+        tag: StreamTag,
+        node: usize,
+        n_threads: usize,
+        bytes_per_thread: f64,
+        release_bytes_per_thread: f64,
+    ) -> Vec<StreamId> {
+        assert!(
+            release_bytes_per_thread >= 0.0,
+            "release threshold must be non-negative"
+        );
+        self.start_transfer(
+            t,
+            tag,
+            node,
+            n_threads,
+            bytes_per_thread,
+            Direction::Write,
+            release_bytes_per_thread,
+        )
+    }
+
+    /// Begin `n_threads` read streams from `node` (same placement and
+    /// sharing rules as writes; direction is carried for metrics).
+    pub fn start_read(
+        &mut self,
+        t: SimTime,
+        tag: StreamTag,
+        node: usize,
+        n_threads: usize,
+        bytes_per_thread: f64,
+    ) -> Vec<StreamId> {
+        self.start_transfer(t, tag, node, n_threads, bytes_per_thread, Direction::Read, 0.0)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn start_transfer(
+        &mut self,
+        t: SimTime,
+        tag: StreamTag,
+        node: usize,
+        n_threads: usize,
+        bytes_per_thread: f64,
+        dir: Direction,
+        release_bytes: f64,
+    ) -> Vec<StreamId> {
+        assert!(n_threads > 0, "a transfer needs at least one thread");
+        assert!(bytes_per_thread > 0.0, "bytes_per_thread must be positive");
+        self.advance_to(t);
+        let mut ids = Vec::with_capacity(n_threads);
+        let mut occ = self.ost_occupancy();
+        for _ in 0..n_threads {
+            // Least-loaded of `ost_candidates` random picks (Lustre's
+            // balancing object allocator); d = 1 is blind uniform choice.
+            let mut ost = self.rng.index(self.cfg.n_ost);
+            for _ in 1..self.cfg.ost_candidates {
+                let alt = self.rng.index(self.cfg.n_ost);
+                if occ[alt] < occ[ost] {
+                    ost = alt;
+                }
+            }
+            occ[ost] += 1;
+            let id = StreamId(self.next_stream_id);
+            self.next_stream_id += 1;
+            let notified = release_bytes >= bytes_per_thread;
+            if notified {
+                // Everything fits in the buffer: release immediately.
+                self.notified.push((t.max(self.now), id, tag));
+            }
+            self.streams.insert(
+                id,
+                StreamState {
+                    tag,
+                    node,
+                    ost,
+                    dir,
+                    remaining_bytes: bytes_per_thread,
+                    rate_bps: 0.0,
+                    notify_remaining: release_bytes.min(bytes_per_thread),
+                    notified,
+                },
+            );
+            ids.push(id);
+        }
+        self.recompute_rates();
+        ids
+    }
+
+    /// Harvest release notifications (threads whose remaining volume fits
+    /// in their burst-buffer allowance), time-ordered.
+    pub fn take_notified(&mut self) -> Vec<(SimTime, StreamId, StreamTag)> {
+        std::mem::take(&mut self.notified)
+    }
+
+    /// Abort all streams belonging to `tag` (job cancelled). Advances to
+    /// `t` first. Returns how many streams were dropped.
+    pub fn cancel_tag(&mut self, t: SimTime, tag: StreamTag) -> usize {
+        self.advance_to(t);
+        let victims: Vec<StreamId> = self
+            .streams
+            .iter()
+            .filter(|(_, s)| s.tag == tag)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &victims {
+            self.streams.remove(id);
+        }
+        if !victims.is_empty() {
+            self.recompute_rates();
+        }
+        victims.len()
+    }
+
+    /// Integrate stream progress up to `t`, stepping across noise epochs.
+    /// Completed streams move to the harvest buffer with their exact
+    /// completion times.
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(t >= self.now, "time cannot go backwards");
+        while self.now < t {
+            let step_end = t.min(self.next_noise_at);
+            self.integrate_until(step_end);
+            self.now = step_end;
+            if self.now == self.next_noise_at {
+                self.resample_noise();
+                self.next_noise_at = self.now + self.cfg.noise_epoch;
+                self.recompute_rates();
+            }
+        }
+    }
+
+    /// Integrate linearly from `self.now` to `end` with current rates,
+    /// harvesting completions at their exact times (which requires
+    /// sub-stepping: when a stream finishes, the freed capacity speeds up
+    /// the remaining streams).
+    fn integrate_until(&mut self, end: SimTime) {
+        loop {
+            if self.now >= end || self.streams.is_empty() {
+                let dt = (end.saturating_since(self.now)).as_secs_f64();
+                if dt > 0.0 {
+                    // Idle gap: fatigue recovers.
+                    self.update_fatigue(dt);
+                }
+                self.now = end.max(self.now);
+                return;
+            }
+            // Earliest event (completion or release crossing) with current
+            // rates. Durations round *up* to the millisecond grid so a
+            // step always makes progress.
+            let mut first: Option<SimTime> = None;
+            for s in self.streams.values() {
+                if s.rate_bps <= 0.0 {
+                    continue;
+                }
+                // Next target for this stream: the release threshold if
+                // not yet crossed, else full completion.
+                let target = if !s.notified && s.notify_remaining > 0.0 {
+                    (s.remaining_bytes - s.notify_remaining).max(0.0)
+                } else {
+                    s.remaining_bytes
+                };
+                let secs = (target / s.rate_bps).max(0.0);
+                let ms = ((secs * 1000.0).ceil() as u64).max(1);
+                let at = self.now + SimDuration::from_millis(ms);
+                if first.is_none_or(|ft| at < ft) {
+                    first = Some(at);
+                }
+            }
+            let step_to = match first {
+                Some(at) if at <= end => at,
+                _ => end,
+            };
+            let dt = (step_to - self.now).as_secs_f64();
+            if dt > 0.0 {
+                self.update_fatigue(dt);
+                for s in self.streams.values_mut() {
+                    // Clamp so a stream never goes negative; the residual
+                    // epsilon is accounted at harvest time.
+                    let moved = (s.rate_bps * dt).min(s.remaining_bytes.max(0.0));
+                    s.remaining_bytes -= moved;
+                    self.bytes_written_total += moved;
+                }
+                self.now = step_to;
+            }
+            // Release crossings: threads whose remaining volume now fits
+            // in their buffer allowance.
+            for (&id, s) in self.streams.iter_mut() {
+                if !s.notified
+                    && s.notify_remaining > 0.0
+                    && s.remaining_bytes <= s.notify_remaining + DONE_EPS_BYTES
+                {
+                    s.notified = true;
+                    self.notified.push((self.now, id, s.tag));
+                }
+            }
+
+            // Harvest everything that is (numerically) done. Because time
+            // is millisecond-quantised, a completion may land a hair before
+            // `step_to`; the epsilon absorbs that.
+            let done: Vec<StreamId> = self
+                .streams
+                .iter()
+                .filter(|(_, s)| s.remaining_bytes <= DONE_EPS_BYTES)
+                .map(|(&id, _)| id)
+                .collect();
+            if done.is_empty() {
+                if self.now >= end {
+                    return;
+                }
+                // No completion before `end` and none harvested: rates are
+                // constant until `end`, so a single step finished the span.
+                continue;
+            }
+            for id in done {
+                let mut s = self.streams.remove(&id).expect("stream exists");
+                // Account the residual epsilon as written.
+                self.bytes_written_total += s.remaining_bytes.max(0.0);
+                s.remaining_bytes = 0.0;
+                self.completed.push((self.now, id, s));
+            }
+            self.recompute_rates();
+        }
+    }
+
+    /// Harvest completed streams (time-ordered).
+    pub fn take_completed(&mut self) -> Vec<(SimTime, StreamId, StreamState)> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// When the model next needs attention: the earliest stream completion
+    /// (exact, under current rates) or the next noise epoch — `None` when
+    /// no stream is active.
+    pub fn next_change_time(&self) -> Option<SimTime> {
+        if self.streams.is_empty() {
+            return None;
+        }
+        let mut next = self.next_noise_at;
+        for s in self.streams.values() {
+            if s.rate_bps > 0.0 {
+                // Identical ceil-to-millisecond rounding as the integrator,
+                // so advancing to this time is guaranteed to harvest the
+                // event (release crossing or completion).
+                let target = if !s.notified && s.notify_remaining > 0.0 {
+                    (s.remaining_bytes - s.notify_remaining).max(0.0)
+                } else {
+                    s.remaining_bytes
+                };
+                let secs = (target / s.rate_bps).max(0.0);
+                let ms = ((secs * 1000.0).ceil() as u64).max(1);
+                next = next.min(self.now + SimDuration::from_millis(ms));
+            }
+        }
+        Some(next.max(self.now + SimDuration::from_millis(1)))
+    }
+
+    /// Recompute the max-min fair rates for all active streams.
+    fn recompute_rates(&mut self) {
+        let n = self.streams.len();
+        if n == 0 {
+            return;
+        }
+        let ids: Vec<StreamId> = self.streams.keys().copied().collect();
+        let mut constraints: Vec<Constraint> = Vec::new();
+
+        // Per-stream client cap.
+        for i in 0..n {
+            constraints.push(Constraint {
+                capacity: self.cfg.stream_cap_bps,
+                members: vec![i],
+            });
+        }
+        // Per-node NIC cap.
+        let mut by_node: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        // Per-OST effective bandwidth (interference + noise).
+        let mut by_ost: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, id) in ids.iter().enumerate() {
+            let s = &self.streams[id];
+            by_node.entry(s.node).or_default().push(i);
+            by_ost.entry(s.ost).or_default().push(i);
+        }
+        for (_, members) in by_node {
+            constraints.push(Constraint {
+                capacity: self.cfg.node_cap_bps,
+                members,
+            });
+        }
+        for (ost, members) in by_ost {
+            let m = members.len();
+            let vigor = (1.0 - self.cfg.fatigue_phi * self.fatigue[ost]) * self.health[ost];
+            constraints.push(Constraint {
+                capacity: self.cfg.ost_effective_bps(m) * self.noise[ost] * vigor,
+                members,
+            });
+        }
+        // Fabric cap over everything.
+        constraints.push(Constraint {
+            capacity: self.cfg.fabric_cap_bps,
+            members: (0..n).collect(),
+        });
+
+        let rates = max_min_fair(n, &constraints);
+        for (i, id) in ids.iter().enumerate() {
+            self.streams.get_mut(id).expect("stream exists").rate_bps = rates[i];
+        }
+    }
+
+    fn resample_noise(&mut self) {
+        if self.cfg.noise_sigma == 0.0 {
+            return;
+        }
+        for f in self.noise.iter_mut() {
+            *f = self.rng.lognormal(1.0, self.cfg.noise_sigma);
+        }
+    }
+
+    /// Advance the per-OST fatigue state by `dt` seconds under the current
+    /// occupancy (exact exponential relaxation for piecewise-constant
+    /// pressure).
+    fn update_fatigue(&mut self, dt_secs: f64) {
+        if self.cfg.fatigue_phi == 0.0 {
+            return;
+        }
+        let occ = self.ost_occupancy();
+        let up = (-dt_secs / self.cfg.fatigue_tau_up.as_secs_f64()).exp();
+        let down = (-dt_secs / self.cfg.fatigue_tau_down.as_secs_f64()).exp();
+        for (ost, f) in self.fatigue.iter_mut().enumerate() {
+            if occ[ost] >= self.cfg.fatigue_threshold {
+                *f = 1.0 - (1.0 - *f) * up;
+            } else {
+                *f *= down;
+            }
+        }
+    }
+
+    /// Current fatigue level of each OST (diagnostics/tests).
+    pub fn ost_fatigue(&self) -> &[f64] {
+        &self.fatigue
+    }
+
+    /// Inject an administrative degradation: from `t` on, `ost` delivers
+    /// `factor ×` its nominal bandwidth (`factor ∈ [0, 1]`; 1.0 restores
+    /// full health). Models failing SSDs / RAID rebuilds — the transient
+    /// events the AI4IO canary detects.
+    pub fn set_ost_health(&mut self, t: SimTime, ost: usize, factor: f64) {
+        assert!(ost < self.cfg.n_ost, "OST {ost} out of range");
+        assert!((0.0..=1.0).contains(&factor), "health factor in [0, 1]");
+        self.advance_to(t);
+        self.health[ost] = factor;
+        self.recompute_rates();
+    }
+
+    /// Current health factor of each OST.
+    pub fn ost_health(&self) -> &[f64] {
+        &self.health
+    }
+
+    /// Aggregate allocated rate right now, bytes/s.
+    pub fn total_throughput_bps(&self) -> f64 {
+        self.streams.values().map(|s| s.rate_bps).sum::<f64>().max(0.0)
+    }
+
+    /// Number of active streams.
+    pub fn active_stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Ground-truth bytes written since construction.
+    pub fn bytes_written_total(&self) -> f64 {
+        self.bytes_written_total
+    }
+
+    /// Snapshot of current load for the monitoring substrate.
+    pub fn snapshot(&self) -> FsSnapshot {
+        let mut snap = FsSnapshot {
+            active_streams: self.streams.len(),
+            ..FsSnapshot::default()
+        };
+        for s in self.streams.values() {
+            snap.total_bps += s.rate_bps;
+            match s.dir {
+                Direction::Write => snap.write_bps += s.rate_bps,
+                Direction::Read => snap.read_bps += s.rate_bps,
+            }
+            *snap.per_node_bps.entry(s.node).or_insert(0.0) += s.rate_bps;
+            *snap.per_tag_bps.entry(s.tag).or_insert(0.0) += s.rate_bps;
+        }
+        snap
+    }
+
+    /// Number of active streams per OST (diagnostics / tests).
+    pub fn ost_occupancy(&self) -> Vec<usize> {
+        let mut occ = vec![0usize; self.cfg.n_ost];
+        for s in self.streams.values() {
+            occ[s.ost] += 1;
+        }
+        occ
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iosched_simkit::units::{gib, gibps};
+
+    fn quiet_cfg() -> LustreConfig {
+        LustreConfig::stria().noiseless()
+    }
+
+    fn sim(cfg: LustreConfig) -> LustreSim {
+        LustreSim::new(cfg, SimRng::from_seed(1234))
+    }
+
+    #[test]
+    fn single_stream_rate_is_min_of_caps() {
+        let cfg = quiet_cfg();
+        let expected = cfg.stream_cap_bps.min(cfg.ost_bandwidth_bps);
+        let mut fs = sim(cfg);
+        fs.start_write(SimTime::ZERO, StreamTag(1), 0, 1, gib(10.0));
+        assert!((fs.total_throughput_bps() - expected).abs() < 1.0);
+    }
+
+    #[test]
+    fn single_stream_completes_at_exact_time() {
+        let cfg = quiet_cfg();
+        let mut fs = sim(cfg.clone());
+        let bytes = gib(1.0);
+        fs.start_write(SimTime::ZERO, StreamTag(1), 0, 1, bytes);
+        let rate = cfg.stream_cap_bps.min(cfg.ost_bandwidth_bps);
+        let expect_secs = bytes / rate;
+        let t = fs.next_change_time().unwrap();
+        assert!((t.as_secs_f64() - expect_secs).abs() < 0.01, "{t}");
+        fs.advance_to(t);
+        let done = fs.take_completed();
+        assert_eq!(done.len(), 1);
+        assert_eq!(fs.active_stream_count(), 0);
+        assert!(fs.next_change_time().is_none());
+    }
+
+    #[test]
+    fn node_cap_limits_many_threads_on_one_node() {
+        let mut cfg = quiet_cfg();
+        cfg.node_cap_bps = gibps(2.0);
+        cfg.stream_cap_bps = gibps(1.0);
+        let mut fs = sim(cfg);
+        fs.start_write(SimTime::ZERO, StreamTag(1), 0, 8, gib(10.0));
+        let total = fs.total_throughput_bps();
+        assert!(total <= gibps(2.0) + 1.0, "node cap violated: {total}");
+    }
+
+    #[test]
+    fn fabric_cap_limits_aggregate() {
+        let mut cfg = quiet_cfg();
+        cfg.fabric_cap_bps = gibps(5.0);
+        cfg.node_cap_bps = gibps(100.0);
+        let mut fs = sim(cfg);
+        for node in 0..15 {
+            fs.start_write(SimTime::ZERO, StreamTag(node as u64), node, 8, gib(10.0));
+        }
+        assert!(fs.total_throughput_bps() <= gibps(5.0) + 1.0);
+    }
+
+    #[test]
+    fn aggregate_concave_in_concurrency() {
+        // More concurrent jobs ⇒ higher aggregate, but with diminishing
+        // returns (the paper's Fig. 4 shape).
+        let mut totals = Vec::new();
+        for k in [1usize, 2, 4, 8, 15] {
+            let mut fs = sim(quiet_cfg());
+            for node in 0..k {
+                fs.start_write(SimTime::ZERO, StreamTag(node as u64), node, 8, gib(10.0));
+            }
+            totals.push(fs.total_throughput_bps());
+        }
+        for w in totals.windows(2) {
+            assert!(w[1] >= w[0] * 0.95, "aggregate dropped sharply: {totals:?}");
+        }
+        // Diminishing increments: going 1→2 jobs gains more per job than
+        // 8→15.
+        let gain_low = totals[1] - totals[0];
+        let gain_high = (totals[4] - totals[3]) / 7.0;
+        assert!(gain_high < gain_low, "no concavity: {totals:?}");
+    }
+
+    #[test]
+    fn interference_slows_shared_ost() {
+        let mut cfg = quiet_cfg();
+        cfg.n_ost = 1; // force everyone onto one OST
+        cfg.interference_gamma = 1.0;
+        cfg.stream_cap_bps = cfg.ost_bandwidth_bps; // cap must not mask it
+        let mut fs = sim(cfg.clone());
+        fs.start_write(SimTime::ZERO, StreamTag(1), 0, 1, gib(10.0));
+        let solo = fs.total_throughput_bps();
+        let mut fs = sim(cfg);
+        fs.start_write(SimTime::ZERO, StreamTag(1), 0, 1, gib(10.0));
+        fs.start_write(SimTime::ZERO, StreamTag(2), 1, 1, gib(10.0));
+        let duo = fs.total_throughput_bps();
+        assert!(duo < solo, "interference should reduce aggregate: {duo} vs {solo}");
+    }
+
+    #[test]
+    fn conservation_of_bytes() {
+        let mut fs = sim(quiet_cfg());
+        let total = gib(10.0) * 8.0 * 3.0;
+        for node in 0..3 {
+            fs.start_write(SimTime::ZERO, StreamTag(node as u64), node, 8, gib(10.0));
+        }
+        // Drive to completion.
+        let mut guard = 0;
+        while let Some(t) = fs.next_change_time() {
+            fs.advance_to(t);
+            guard += 1;
+            assert!(guard < 10_000, "no convergence");
+        }
+        let done = fs.take_completed();
+        assert_eq!(done.len(), 24);
+        assert!(
+            (fs.bytes_written_total() - total).abs() < total * 1e-9,
+            "bytes written {} expected {}",
+            fs.bytes_written_total(),
+            total
+        );
+    }
+
+    #[test]
+    fn straggler_effect_under_oversubscription() {
+        // A burst of 15 write×8 jobs finishes (per job) much more slowly
+        // than an isolated job — the congestion mechanism behind the
+        // paper's default-Slurm waste.
+        let run = |k: usize| -> f64 {
+            let mut fs = sim(quiet_cfg());
+            for node in 0..k {
+                fs.start_write(SimTime::ZERO, StreamTag(node as u64), node, 8, gib(10.0));
+            }
+            let mut last = SimTime::ZERO;
+            while let Some(t) = fs.next_change_time() {
+                fs.advance_to(t);
+                last = t;
+            }
+            // completion of the last straggler
+            let done = fs.take_completed();
+            assert_eq!(done.len(), 8 * k);
+            last.as_secs_f64()
+        };
+        let solo = run(1);
+        let burst = run(15);
+        assert!(
+            burst > solo * 2.0,
+            "expected heavy straggler inflation: solo {solo}s vs burst {burst}s"
+        );
+    }
+
+    #[test]
+    fn noise_changes_rates_at_epochs_deterministically() {
+        let cfg = LustreConfig::stria(); // noise on
+        let mut a = LustreSim::new(cfg.clone(), SimRng::from_seed(7));
+        let mut b = LustreSim::new(cfg, SimRng::from_seed(7));
+        for fsim in [&mut a, &mut b] {
+            fsim.start_write(SimTime::ZERO, StreamTag(1), 0, 8, gib(100.0));
+        }
+        let t = SimTime::from_secs(35);
+        a.advance_to(t);
+        b.advance_to(t);
+        assert_eq!(a.total_throughput_bps().to_bits(), b.total_throughput_bps().to_bits());
+        assert!((a.bytes_written_total() - b.bytes_written_total()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cancel_tag_removes_streams() {
+        let mut fs = sim(quiet_cfg());
+        fs.start_write(SimTime::ZERO, StreamTag(1), 0, 4, gib(10.0));
+        fs.start_write(SimTime::ZERO, StreamTag(2), 1, 4, gib(10.0));
+        assert_eq!(fs.cancel_tag(SimTime::from_secs(1), StreamTag(1)), 4);
+        assert_eq!(fs.active_stream_count(), 4);
+        let snap = fs.snapshot();
+        assert!(snap.per_tag_bps.contains_key(&StreamTag(2)));
+        assert!(!snap.per_tag_bps.contains_key(&StreamTag(1)));
+    }
+
+    #[test]
+    fn snapshot_aggregates_match() {
+        let mut fs = sim(quiet_cfg());
+        fs.start_write(SimTime::ZERO, StreamTag(1), 0, 4, gib(10.0));
+        fs.start_write(SimTime::ZERO, StreamTag(2), 1, 4, gib(10.0));
+        let snap = fs.snapshot();
+        let per_node: f64 = snap.per_node_bps.values().sum();
+        let per_tag: f64 = snap.per_tag_bps.values().sum();
+        assert!((snap.total_bps - per_node).abs() < 1e-6);
+        assert!((snap.total_bps - per_tag).abs() < 1e-6);
+        assert_eq!(snap.active_streams, 8);
+        assert_eq!(fs.ost_occupancy().iter().sum::<usize>(), 8);
+    }
+
+    #[test]
+    fn ost_degradation_throttles_and_recovers() {
+        let mut cfg = quiet_cfg();
+        cfg.n_ost = 1;
+        cfg.stream_cap_bps = cfg.ost_bandwidth_bps * 2.0;
+        cfg.fatigue_phi = 0.0;
+        let mut fs = sim(cfg.clone());
+        fs.start_write(SimTime::ZERO, StreamTag(1), 0, 1, gib(1000.0));
+        let nominal = fs.total_throughput_bps();
+        assert!((nominal - cfg.ost_bandwidth_bps).abs() < 1.0);
+        // Degrade to 10%.
+        fs.set_ost_health(SimTime::from_secs(10), 0, 0.1);
+        assert!((fs.total_throughput_bps() - nominal * 0.1).abs() < 1.0);
+        assert_eq!(fs.ost_health()[0], 0.1);
+        // Restore.
+        fs.set_ost_health(SimTime::from_secs(20), 0, 1.0);
+        assert!((fs.total_throughput_bps() - nominal).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn health_factor_out_of_range_panics() {
+        let mut fs = sim(quiet_cfg());
+        fs.set_ost_health(SimTime::ZERO, 0, 1.5);
+    }
+
+    #[test]
+    fn buffered_write_releases_early_and_keeps_draining() {
+        let cfg = quiet_cfg();
+        let mut fs = sim(cfg);
+        // 10 GiB per thread, 8 GiB buffered: release when 8 GiB remain.
+        fs.start_write_buffered(SimTime::ZERO, StreamTag(1), 0, 1, gib(10.0), gib(8.0));
+        // Nothing released yet.
+        assert!(fs.take_notified().is_empty());
+        // After ~2 GiB at 0.45 GiB/s ≈ 4.5 s, the release fires.
+        let mut notified_at = None;
+        let mut completed_at = None;
+        while let Some(t) = fs.next_change_time() {
+            fs.advance_to(t);
+            for (nt, _, tag) in fs.take_notified() {
+                assert_eq!(tag, StreamTag(1));
+                notified_at = Some(nt);
+            }
+            for (ct, _, _) in fs.take_completed() {
+                completed_at = Some(ct);
+            }
+            if completed_at.is_some() {
+                break;
+            }
+        }
+        let notified_at = notified_at.expect("release fired").as_secs_f64();
+        let completed_at = completed_at.expect("drain completed").as_secs_f64();
+        assert!((notified_at - 2.0 / 0.45).abs() < 0.1, "released at {notified_at}");
+        assert!(
+            (completed_at - 10.0 / 0.45).abs() < 0.1,
+            "drained at {completed_at}"
+        );
+    }
+
+    #[test]
+    fn fully_buffered_write_releases_immediately() {
+        let mut fs = sim(quiet_cfg());
+        fs.start_write_buffered(SimTime::ZERO, StreamTag(2), 0, 4, gib(1.0), gib(5.0));
+        let notes = fs.take_notified();
+        assert_eq!(notes.len(), 4);
+        assert!(notes.iter().all(|&(t, _, _)| t == SimTime::ZERO));
+        // Streams still drain.
+        assert_eq!(fs.active_stream_count(), 4);
+    }
+
+    #[test]
+    fn reads_share_bandwidth_with_writes() {
+        let mut cfg = quiet_cfg();
+        cfg.n_ost = 1;
+        cfg.stream_cap_bps = cfg.ost_bandwidth_bps;
+        cfg.interference_gamma = 0.0;
+        let mut fs = sim(cfg.clone());
+        fs.start_write(SimTime::ZERO, StreamTag(1), 0, 1, gib(10.0));
+        fs.start_read(SimTime::ZERO, StreamTag(2), 1, 1, gib(10.0));
+        // One OST shared fairly between a reader and a writer.
+        let snap = fs.snapshot();
+        assert!((snap.write_bps - cfg.ost_bandwidth_bps / 2.0).abs() < 1.0);
+        assert!((snap.read_bps - cfg.ost_bandwidth_bps / 2.0).abs() < 1.0);
+        assert!((snap.total_bps - cfg.ost_bandwidth_bps).abs() < 1.0);
+    }
+
+    #[test]
+    fn read_streams_complete_and_are_harvested() {
+        let mut fs = sim(quiet_cfg());
+        fs.start_read(SimTime::ZERO, StreamTag(9), 0, 4, gib(1.0));
+        let mut done = 0;
+        while let Some(t) = fs.next_change_time() {
+            fs.advance_to(t);
+            done += fs.take_completed().len();
+        }
+        assert_eq!(done, 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn time_cannot_go_backwards() {
+        let mut fs = sim(quiet_cfg());
+        fs.advance_to(SimTime::from_secs(10));
+        fs.advance_to(SimTime::from_secs(5));
+    }
+}

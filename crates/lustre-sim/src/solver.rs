@@ -1,0 +1,228 @@
+//! Progressive-filling max-min fair rate allocation.
+//!
+//! Given a set of flows and a set of capacity constraints (each constraint
+//! covers a subset of flows), the allocator raises all flow rates
+//! uniformly; when a constraint saturates, its member flows freeze at the
+//! current level and filling continues for the rest. The result is the
+//! unique max-min fair allocation — the standard fluid approximation for
+//! bandwidth sharing in storage/network fabrics.
+
+/// A capacity constraint over a set of flows (indices into the flow list).
+#[derive(Clone, Debug)]
+pub struct Constraint {
+    /// Total capacity shared by the member flows (≥ 0).
+    pub capacity: f64,
+    /// Indices of the flows subject to this constraint.
+    pub members: Vec<usize>,
+}
+
+/// Compute the max-min fair rates for `n_flows` flows under `constraints`.
+///
+/// Every flow must be covered by at least one finite constraint, otherwise
+/// its rate would be unbounded — in debug builds this is asserted.
+/// Returns one rate per flow.
+pub fn max_min_fair(n_flows: usize, constraints: &[Constraint]) -> Vec<f64> {
+    let mut rate = vec![0.0_f64; n_flows];
+    if n_flows == 0 {
+        return rate;
+    }
+
+    #[cfg(debug_assertions)]
+    {
+        let mut covered = vec![false; n_flows];
+        for c in constraints {
+            for &m in &c.members {
+                covered[m] = true;
+            }
+        }
+        debug_assert!(
+            covered.iter().all(|&c| c),
+            "every flow must be covered by a constraint"
+        );
+    }
+
+    let mut frozen = vec![false; n_flows];
+    // Per-constraint bookkeeping: remaining capacity after frozen members,
+    // and number of unfrozen members.
+    let mut residual: Vec<f64> = constraints.iter().map(|c| c.capacity.max(0.0)).collect();
+    let mut unfrozen_count: Vec<usize> = constraints.iter().map(|c| c.members.len()).collect();
+
+    let mut level = 0.0_f64;
+    let mut remaining_flows = n_flows;
+
+    while remaining_flows > 0 {
+        // The next level at which some constraint saturates:
+        // cap_c = Σ_frozen r + level'·u_c  ⇒  level' = level + residual_c/u_c
+        // where residual_c already accounts for frozen members and the
+        // *current* level consumed by unfrozen members.
+        let mut next_level = f64::INFINITY;
+        for (ci, c) in constraints.iter().enumerate() {
+            if unfrozen_count[ci] == 0 {
+                continue;
+            }
+            let candidate = level + residual[ci] / unfrozen_count[ci] as f64;
+            if candidate < next_level {
+                next_level = candidate;
+            }
+            let _ = c;
+        }
+        if !next_level.is_finite() {
+            // No finite constraint applies to the remaining flows; freeze
+            // them at the current level (can only happen in release builds
+            // with uncovered flows).
+            for f in 0..n_flows {
+                if !frozen[f] {
+                    rate[f] = level;
+                }
+            }
+            break;
+        }
+
+        let delta = (next_level - level).max(0.0);
+        // Consume capacity for the uniform raise.
+        for (ci, _) in constraints.iter().enumerate() {
+            residual[ci] -= delta * unfrozen_count[ci] as f64;
+        }
+        level = next_level;
+
+        // Freeze members of all (numerically) saturated constraints.
+        let mut to_freeze: Vec<usize> = Vec::new();
+        for (ci, c) in constraints.iter().enumerate() {
+            if unfrozen_count[ci] > 0 && residual[ci] <= 1e-9 * c.capacity.max(1.0) {
+                for &m in &c.members {
+                    if !frozen[m] {
+                        to_freeze.push(m);
+                    }
+                }
+            }
+        }
+        debug_assert!(
+            !to_freeze.is_empty(),
+            "progressive filling must freeze at least one flow per round"
+        );
+        to_freeze.sort_unstable();
+        to_freeze.dedup();
+        for f in to_freeze {
+            frozen[f] = true;
+            rate[f] = level;
+            remaining_flows -= 1;
+            // Remove this flow from every constraint's unfrozen set; its
+            // consumption at `level` is already reflected in `residual`.
+            for (ci, c) in constraints.iter().enumerate() {
+                if c.members.contains(&f) {
+                    unfrozen_count[ci] -= 1;
+                }
+            }
+        }
+    }
+
+    rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn c(capacity: f64, members: &[usize]) -> Constraint {
+        Constraint {
+            capacity,
+            members: members.to_vec(),
+        }
+    }
+
+    #[test]
+    fn single_constraint_splits_evenly() {
+        let rates = max_min_fair(4, &[c(8.0, &[0, 1, 2, 3])]);
+        assert_eq!(rates, vec![2.0; 4]);
+    }
+
+    #[test]
+    fn per_flow_caps_respected() {
+        // Flow 0 capped at 1, the shared pipe of 10 is then split so flow 0
+        // gets 1 and flows 1,2 get 4.5 each.
+        let rates = max_min_fair(
+            3,
+            &[c(10.0, &[0, 1, 2]), c(1.0, &[0]), c(100.0, &[1]), c(100.0, &[2])],
+        );
+        assert!((rates[0] - 1.0).abs() < 1e-9);
+        assert!((rates[1] - 4.5).abs() < 1e-9);
+        assert!((rates[2] - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classic_three_link_example() {
+        // Textbook max-min: flows A(0) on link1+link2, B(1) on link1,
+        // C(2) on link2. link1 cap 10, link2 cap 4.
+        // Fair: level rises to 2 → link2 saturates, freezes A and C at 2;
+        // B continues to 10-2=8.
+        let rates = max_min_fair(3, &[c(10.0, &[0, 1]), c(4.0, &[0, 2])]);
+        assert!((rates[0] - 2.0).abs() < 1e-9);
+        assert!((rates[2] - 2.0).abs() < 1e-9);
+        assert!((rates[1] - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_capacity_gives_zero_rate() {
+        let rates = max_min_fair(2, &[c(0.0, &[0]), c(5.0, &[0, 1])]);
+        assert_eq!(rates[0], 0.0);
+        assert!((rates[1] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(max_min_fair(0, &[]).is_empty());
+    }
+
+    #[test]
+    fn duplicate_membership_is_tolerated() {
+        // A flow listed twice in one constraint counts twice toward its
+        // consumption — callers do not do this, but it must not loop.
+        let rates = max_min_fair(1, &[c(4.0, &[0])]);
+        assert!((rates[0] - 4.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        /// No constraint is ever violated, and no flow can be raised
+        /// without lowering a flow with a smaller-or-equal rate
+        /// (max-min optimality witness: every flow has a saturated
+        /// constraint, or has the globally maximal rate).
+        #[test]
+        fn prop_feasible_and_maxmin(
+            n_flows in 1usize..12,
+            caps in proptest::collection::vec(0.1f64..100.0, 1..8),
+            seed in 0u64..1000,
+        ) {
+            // Build random constraints, then one catch-all to cover flows.
+            let mut constraints: Vec<Constraint> = Vec::new();
+            let mut s = seed;
+            let mut next = || { s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407); (s >> 33) as usize };
+            for &cap in &caps {
+                let mut members: Vec<usize> = (0..n_flows).filter(|_| next() % 2 == 0).collect();
+                if members.is_empty() { members.push(next() % n_flows); }
+                constraints.push(Constraint { capacity: cap, members });
+            }
+            constraints.push(Constraint { capacity: 1000.0, members: (0..n_flows).collect() });
+
+            let rates = max_min_fair(n_flows, &constraints);
+
+            // Feasibility.
+            for c in &constraints {
+                let used: f64 = c.members.iter().map(|&m| rates[m]).sum();
+                prop_assert!(used <= c.capacity + 1e-6, "constraint violated: {used} > {}", c.capacity);
+            }
+            // Non-negativity.
+            for &r in &rates { prop_assert!(r >= 0.0); }
+            // Max-min witness: every flow is in some ~saturated constraint.
+            for f in 0..n_flows {
+                let has_tight = constraints.iter().any(|c| {
+                    c.members.contains(&f) && {
+                        let used: f64 = c.members.iter().map(|&m| rates[m]).sum();
+                        used >= c.capacity - 1e-6 * c.capacity.max(1.0)
+                    }
+                });
+                prop_assert!(has_tight, "flow {f} has headroom everywhere");
+            }
+        }
+    }
+}

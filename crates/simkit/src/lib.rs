@@ -1,0 +1,38 @@
+//! Discrete-event simulation toolkit shared by every crate in the
+//! `hpc-iosched` workspace.
+//!
+//! The toolkit deliberately stays away from a framework-style "process"
+//! abstraction: simulations in this workspace own a typed event enum and a
+//! plain loop over an [`EventQueue`]. What `simkit` provides are the
+//! building blocks that have to be correct and deterministic everywhere:
+//!
+//! * [`SimTime`] / [`SimDuration`] — millisecond-resolution simulated time
+//!   with checked, saturating arithmetic (no floating-point clock drift);
+//! * [`EventQueue`] — a stable priority queue: events at equal timestamps
+//!   pop in insertion order, which keeps runs bit-for-bit reproducible;
+//! * [`SimRng`] — a seedable, forkable random source with the handful of
+//!   distributions the simulators need (uniform, normal, log-normal,
+//!   exponential);
+//! * [`stats`] — online moments, quantiles, box-plot summaries used by the
+//!   experiment harnesses;
+//! * [`TimeSeries`] — step-function time series with integration,
+//!   time-averaging and resampling, used for throughput/allocation traces.
+//!
+//! Everything here avoids global state, wall clocks and threads;
+//! determinism is a hard requirement because the reproduction experiments
+//! compare schedulers across seeds.
+
+pub mod ids;
+pub mod queue;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod time;
+pub mod units;
+
+pub use ids::JobId;
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use series::TimeSeries;
+pub use stats::{BoxStats, Histogram, OnlineStats};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,220 @@
+//! Deterministic random source for simulations.
+//!
+//! All stochastic behaviour in the workspace (OST selection, bandwidth
+//! noise, workload jitter) flows through [`SimRng`]. A run is fully
+//! determined by its master seed; independent subsystems get statistically
+//! independent streams via [`SimRng::fork`], so adding a consumer in one
+//! subsystem cannot perturb another subsystem's draws.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded random number generator with the distributions the simulators
+/// need. Wraps [`rand::rngs::StdRng`].
+pub struct SimRng {
+    inner: StdRng,
+    seed: u64,
+}
+
+/// SplitMix64 step, used to derive fork seeds. A single step is a strong
+/// 64-bit mixer, so fork streams are decorrelated even for adjacent labels.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl SimRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this generator was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derive an independent generator for a labelled subsystem.
+    /// Forking is a pure function of `(self.seed, label)` — it does not
+    /// consume state from `self`, so the set of forks is stable no matter
+    /// in which order subsystems are constructed.
+    pub fn fork(&self, label: u64) -> SimRng {
+        SimRng::from_seed(splitmix64(self.seed ^ splitmix64(label)))
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`. Requires `lo < hi`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo < hi);
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`. Requires `n > 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index() requires a non-empty range");
+        self.inner.random_range(0..n)
+    }
+
+    /// Standard normal draw (Box–Muller; one value per call, the pair's
+    /// second value is discarded to keep the state machine simple).
+    pub fn normal(&mut self) -> f64 {
+        // Avoid ln(0) by drawing u1 from (0, 1].
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal draw with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.normal()
+    }
+
+    /// Log-normal draw parameterised so that the *median* of the
+    /// distribution is `median` and the underlying normal has standard
+    /// deviation `sigma` (in log space). `sigma = 0` returns `median`.
+    pub fn lognormal(&mut self, median: f64, sigma: f64) -> f64 {
+        debug_assert!(median > 0.0);
+        if sigma == 0.0 {
+            return median;
+        }
+        median * (sigma * self.normal()).exp()
+    }
+
+    /// Exponential draw with the given rate `lambda` (mean `1/lambda`).
+    pub fn exponential(&mut self, lambda: f64) -> f64 {
+        debug_assert!(lambda > 0.0);
+        let u = 1.0 - self.uniform();
+        -u.ln() / lambda
+    }
+
+    /// Choose a uniformly random element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::from_seed(42);
+        let mut b = SimRng::from_seed(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::from_seed(1);
+        let mut b = SimRng::from_seed(2);
+        let same = (0..32).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn fork_is_order_independent_and_labelled() {
+        let root = SimRng::from_seed(7);
+        let mut f1a = root.fork(1);
+        let mut f2 = root.fork(2);
+        let mut f1b = root.fork(1);
+        let x = f1a.uniform();
+        let _ = f2.uniform();
+        assert_eq!(x.to_bits(), f1b.uniform().to_bits());
+        assert_ne!(root.fork(1).seed(), root.fork(2).seed());
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut r = SimRng::from_seed(3);
+        for _ in 0..10_000 {
+            let u = r.uniform();
+            assert!((0.0..1.0).contains(&u));
+            let v = r.uniform_range(5.0, 6.0);
+            assert!((5.0..6.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn normal_moments_roughly_correct() {
+        let mut r = SimRng::from_seed(11);
+        let n = 50_000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let x = r.normal();
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median_and_positivity() {
+        let mut r = SimRng::from_seed(13);
+        let mut vals: Vec<f64> = (0..20_001).map(|_| r.lognormal(10.0, 0.3)).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(vals.iter().all(|&v| v > 0.0));
+        let median = vals[vals.len() / 2];
+        assert!((median - 10.0).abs() / 10.0 < 0.05, "median {median}");
+        assert_eq!(r.lognormal(4.0, 0.0), 4.0);
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = SimRng::from_seed(17);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| r.exponential(2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn index_and_choose_cover_range() {
+        let mut r = SimRng::from_seed(19);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[r.index(5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let items = [1, 2, 3];
+        assert!(items.contains(r.choose(&items)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SimRng::from_seed(23);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic]
+    fn index_empty_panics() {
+        SimRng::from_seed(0).index(0);
+    }
+}

@@ -1,0 +1,337 @@
+//! Statistics helpers for the experiment harnesses.
+//!
+//! The paper reports skewed distributions (Fig. 6 uses a swarm plot with
+//! medians; Fig. 4 uses box plots), so the quantile machinery here is the
+//! primary reporting path rather than means.
+
+use serde::{Deserialize, Serialize};
+
+/// Online mean/variance accumulator (Welford's algorithm).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Create an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add a sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 for fewer than 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (NaN-free input assumed; +inf if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample (−inf if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Linear-interpolation quantile of an **already sorted** slice,
+/// `q ∈ [0, 1]`. Returns `None` for an empty slice.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(sorted[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Quantile of an unsorted slice (sorts a copy).
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    quantile_sorted(&v, q)
+}
+
+/// Median of an unsorted slice.
+pub fn median(values: &[f64]) -> Option<f64> {
+    quantile(values, 0.5)
+}
+
+/// Five-number summary used for the Fig. 4 box plots.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BoxStats {
+    pub min: f64,
+    pub q1: f64,
+    pub median: f64,
+    pub q3: f64,
+    pub max: f64,
+    /// Number of samples summarised.
+    pub count: usize,
+}
+
+impl BoxStats {
+    /// Compute the summary of a non-empty sample; `None` if empty.
+    pub fn from_samples(values: &[f64]) -> Option<BoxStats> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut v = values.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in BoxStats input"));
+        Some(BoxStats {
+            min: v[0],
+            q1: quantile_sorted(&v, 0.25).unwrap(),
+            median: quantile_sorted(&v, 0.5).unwrap(),
+            q3: quantile_sorted(&v, 0.75).unwrap(),
+            max: v[v.len() - 1],
+            count: v.len(),
+        })
+    }
+
+    /// Inter-quartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Fixed-width histogram over `[lo, hi)` with saturating edge buckets —
+/// used for wait-time and slowdown distributions in experiment reports.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// `buckets ≥ 1` equal-width buckets spanning `[lo, hi)`. Samples
+    /// outside the range land in the first/last bucket.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(buckets >= 1, "need at least one bucket");
+        assert!(hi > lo, "range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; buckets],
+            total: 0,
+        }
+    }
+
+    /// Add a sample.
+    pub fn push(&mut self, x: f64) {
+        let n = self.counts.len();
+        let idx = if x < self.lo {
+            0
+        } else if x >= self.hi {
+            n - 1
+        } else {
+            (((x - self.lo) / (self.hi - self.lo)) * n as f64) as usize
+        };
+        self.counts[idx.min(n - 1)] += 1;
+        self.total += 1;
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// `(bucket_lower_edge, count)` pairs.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo + width * i as f64, c))
+    }
+
+    /// Approximate quantile from the bucket midpoints (`None` if empty).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * (self.total - 1) as f64).round() as u64;
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen > target {
+                return Some(self.lo + width * (i as f64 + 0.5));
+            }
+        }
+        Some(self.hi - width / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn online_stats_matches_direct_computation() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = OnlineStats::new();
+        for &x in &data {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_are_sane() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile_sorted(&v, 0.0), Some(1.0));
+        assert_eq!(quantile_sorted(&v, 1.0), Some(4.0));
+        assert_eq!(quantile_sorted(&v, 0.5), Some(2.5));
+        assert_eq!(quantile_sorted(&[], 0.5), None);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+    }
+
+    #[test]
+    fn box_stats_basic() {
+        let b = BoxStats::from_samples(&[5.0, 1.0, 3.0, 2.0, 4.0]).unwrap();
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.median, 3.0);
+        assert_eq!(b.max, 5.0);
+        assert_eq!(b.q1, 2.0);
+        assert_eq!(b.q3, 4.0);
+        assert_eq!(b.iqr(), 2.0);
+        assert_eq!(b.count, 5);
+        assert!(BoxStats::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn histogram_buckets_and_saturation() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [1.0, 3.0, 3.5, 9.9, -5.0, 100.0] {
+            h.push(x);
+        }
+        assert_eq!(h.total(), 6);
+        // Buckets: [0,2): {1.0, -5.0}; [2,4): {3.0, 3.5}; [8,10): {9.9, 100.0}
+        assert_eq!(h.counts(), &[2, 2, 0, 0, 2]);
+        let edges: Vec<f64> = h.buckets().map(|(e, _)| e).collect();
+        assert_eq!(edges, vec![0.0, 2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        for i in 0..100 {
+            h.push(i as f64);
+        }
+        assert_eq!(Histogram::new(0.0, 1.0, 2).quantile(0.5), None);
+        let med = h.quantile(0.5).unwrap();
+        assert!((med - 45.0).abs() <= 10.0, "median ≈ mid-bucket, got {med}");
+        assert!(h.quantile(0.0).unwrap() < h.quantile(1.0).unwrap());
+    }
+
+    #[test]
+    #[should_panic]
+    fn histogram_empty_range_panics() {
+        Histogram::new(5.0, 5.0, 3);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_histogram_total_matches_pushes(
+            samples in proptest::collection::vec(-100.0f64..200.0, 0..200),
+        ) {
+            let mut h = Histogram::new(0.0, 100.0, 7);
+            for &s in &samples { h.push(s); }
+            prop_assert_eq!(h.total(), samples.len() as u64);
+            prop_assert_eq!(h.counts().iter().sum::<u64>(), samples.len() as u64);
+        }
+
+        #[test]
+        fn prop_quantiles_monotone_and_bounded(
+            mut v in proptest::collection::vec(-1e6f64..1e6, 1..100),
+            q1 in 0.0f64..1.0,
+            q2 in 0.0f64..1.0,
+        ) {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let (lo, hi) = (q1.min(q2), q1.max(q2));
+            let a = quantile_sorted(&v, lo).unwrap();
+            let b = quantile_sorted(&v, hi).unwrap();
+            prop_assert!(a <= b + 1e-9);
+            prop_assert!(a >= v[0] - 1e-9 && b <= v[v.len() - 1] + 1e-9);
+        }
+
+        #[test]
+        fn prop_online_mean_within_bounds(v in proptest::collection::vec(-1e3f64..1e3, 1..200)) {
+            let mut s = OnlineStats::new();
+            for &x in &v { s.push(x); }
+            prop_assert!(s.mean() >= s.min() - 1e-9 && s.mean() <= s.max() + 1e-9);
+            prop_assert!(s.variance() >= -1e-9);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Slurm-style license resources.
+//!
+//! Licenses are cluster-wide countable resources; since Slurm 22.05 the
+//! backfill scheduler can track license reservations for delayed jobs
+//! (paper §II-A). The paper argues this stock mechanism is a poor fit for
+//! file-system bandwidth — it needs user-provided per-job numbers and is
+//! not enforced — but it is the baseline integration point, so the
+//! substrate implements it faithfully: pools with totals, per-job
+//! requirements, and profile-based reservation tracking (wired up in
+//! [`crate::policy::NodePolicy`]).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Cluster-wide license pools: name → total available count.
+pub type LicensePools = BTreeMap<String, f64>;
+
+/// Per-job license demands.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LicenseRequirements {
+    demands: BTreeMap<String, f64>,
+}
+
+impl LicenseRequirements {
+    /// No licenses required.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Set the demand for one license pool (replaces any previous value).
+    pub fn set(&mut self, name: impl Into<String>, amount: f64) -> &mut Self {
+        assert!(amount >= 0.0, "license demand must be non-negative");
+        self.demands.insert(name.into(), amount);
+        self
+    }
+
+    /// Demand for the named pool (0.0 if not requested).
+    pub fn get(&self, name: &str) -> f64 {
+        self.demands.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// True if the job requests no licenses.
+    pub fn is_empty(&self) -> bool {
+        self.demands.values().all(|&v| v == 0.0)
+    }
+
+    /// Iterate over (name, demand) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.demands.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut req = LicenseRequirements::none();
+        assert!(req.is_empty());
+        req.set("lustre", 5.0).set("matlab", 1.0);
+        assert_eq!(req.get("lustre"), 5.0);
+        assert_eq!(req.get("matlab"), 1.0);
+        assert_eq!(req.get("absent"), 0.0);
+        assert!(!req.is_empty());
+        assert_eq!(req.iter().count(), 2);
+    }
+
+    #[test]
+    fn zero_demand_counts_as_empty() {
+        let mut req = LicenseRequirements::none();
+        req.set("lustre", 0.0);
+        assert!(req.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_demand_panics() {
+        LicenseRequirements::none().set("x", -1.0);
+    }
+}

@@ -1,0 +1,310 @@
+//! The scheduling-policy plugin seam.
+//!
+//! Slurm's backfill plugin delegates three procedures to the resource
+//! model: building the reservation tracker from the current running set,
+//! answering "earliest start time" queries, and recording reservations.
+//! The paper's Algorithms 2–7 override exactly these three procedures, so
+//! the trait boundary here mirrors that seam: [`SchedulingPolicy`] builds
+//! a fresh [`ReservationTracker`] each scheduling round, and Algorithm 1
+//! ([`crate::backfill::backfill_pass`]) drives the tracker.
+
+use crate::licenses::LicenseRequirements;
+use crate::profile::ResourceProfile;
+use iosched_simkit::ids::JobId;
+use iosched_simkit::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Scheduler-visible job metadata — what the user provides at submission
+/// (paper §II): node count `n_j`, requested runtime limit `L_j`, and a job
+/// name that the analytics use to identify "similar jobs". Resource
+/// estimates (`r_j`, `d_j`) deliberately do **not** appear here; the whole
+/// point of the paper's design is that they come from the analytics
+/// services, not the user.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SchedJob {
+    pub id: JobId,
+    /// Job (script) name; jobs with equal names are "similar".
+    pub name: String,
+    /// Nodes required (`n_j`).
+    pub nodes: usize,
+    /// Requested runtime limit (`L_j`). Reservations always span `L_j`.
+    pub limit: SimDuration,
+    /// Submission time (`s_j`).
+    pub submit: SimTime,
+    /// Administrative priority (higher schedules earlier under
+    /// [`crate::registry::PriorityPolicy::Priority`]; ties break FIFO).
+    pub priority: i64,
+    /// Dependencies (Slurm `--dependency=afterok:...`): this job is not
+    /// eligible until every listed job has finished.
+    pub after: Vec<JobId>,
+    /// License demands (stock Slurm countable resources; usually empty).
+    pub licenses: LicenseRequirements,
+}
+
+impl SchedJob {
+    /// Convenience constructor for license-free jobs.
+    pub fn new(
+        id: JobId,
+        name: impl Into<String>,
+        nodes: usize,
+        limit: SimDuration,
+        submit: SimTime,
+    ) -> Self {
+        SchedJob {
+            id,
+            name: name.into(),
+            nodes,
+            limit,
+            submit,
+            priority: 0,
+            after: Vec::new(),
+            licenses: LicenseRequirements::default(),
+        }
+    }
+
+    /// Builder-style priority setter.
+    pub fn with_priority(mut self, priority: i64) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Builder-style dependency setter (`afterok` semantics).
+    pub fn with_after(mut self, after: Vec<JobId>) -> Self {
+        self.after = after;
+        self
+    }
+}
+
+/// A job currently executing, as seen by the scheduler.
+#[derive(Clone, Debug)]
+pub struct RunningView<'a> {
+    pub job: &'a SchedJob,
+    /// Actual start time `b_j`.
+    pub started: SimTime,
+}
+
+/// Grace period a running job that has exceeded its requested limit is
+/// still assumed to occupy its resources. Slurm kills such jobs at the
+/// limit; this substrate does not enforce kills, so trackers must keep
+/// overrunning jobs reserved or the scheduler would double-book their
+/// nodes.
+pub const OVERRUN_GRACE: SimDuration = SimDuration::from_secs(60);
+
+impl RunningView<'_> {
+    /// End of this job's reservation window as seen at time `now`:
+    /// `b_j + L_j`, or a short grace window once the job has overrun its
+    /// limit (the reservation is re-extended each round until the job
+    /// actually ends).
+    pub fn reservation_end(&self, now: SimTime) -> SimTime {
+        let nominal = self.started + self.job.limit;
+        if nominal > now {
+            nominal
+        } else {
+            now + OVERRUN_GRACE
+        }
+    }
+}
+
+/// The per-round reservation tracker: answers `EarliestStartTime` and
+/// records `ReserveResources` (paper Algorithm 1, lines 5, 8, 13).
+pub trait ReservationTracker {
+    /// Earliest time `t ≥ t_min` at which all resources required by `job`
+    /// are simultaneously available for the window `[t, t + L_j)`.
+    fn earliest_start(&mut self, job: &SchedJob, t_min: SimTime) -> SimTime;
+
+    /// Record a reservation for `job` starting at `start` (for `L_j`).
+    fn reserve(&mut self, job: &SchedJob, start: SimTime);
+}
+
+/// A scheduling policy: builds the tracker at the beginning of each
+/// scheduling round (`InitializeReservationTracker`).
+pub trait SchedulingPolicy {
+    /// Tracker type produced each round.
+    type Tracker: ReservationTracker;
+
+    /// Build the round's tracker from the running set and the wait queue.
+    /// `queue` is in priority order. `total_nodes` is the cluster size `N`.
+    fn init_tracker(
+        &mut self,
+        running: &[RunningView<'_>],
+        queue: &[&SchedJob],
+        now: SimTime,
+        total_nodes: usize,
+    ) -> Self::Tracker;
+}
+
+/// Stock Slurm behaviour: nodes are the only tracked resource (licenses
+/// too, when jobs request them).
+#[derive(Clone, Debug, Default)]
+pub struct NodePolicy {
+    /// Cluster-wide license pools (name → total count). Empty by default.
+    pub license_totals: crate::licenses::LicensePools,
+}
+
+/// Tracker built by [`NodePolicy`]: a node profile plus one profile per
+/// license pool.
+pub struct NodeTracker {
+    nodes: ResourceProfile,
+    licenses: Vec<(String, ResourceProfile)>,
+}
+
+impl NodeTracker {
+    /// Direct access to the node profile (used by the I/O-aware policy,
+    /// which composes with the stock node tracking).
+    pub fn node_profile(&self) -> &ResourceProfile {
+        &self.nodes
+    }
+}
+
+impl SchedulingPolicy for NodePolicy {
+    type Tracker = NodeTracker;
+
+    fn init_tracker(
+        &mut self,
+        running: &[RunningView<'_>],
+        _queue: &[&SchedJob],
+        now: SimTime,
+        total_nodes: usize,
+    ) -> NodeTracker {
+        let mut nodes = ResourceProfile::new(total_nodes as f64);
+        let mut licenses: Vec<(String, ResourceProfile)> = self
+            .license_totals
+            .iter()
+            .map(|(name, &total)| (name.clone(), ResourceProfile::new(total)))
+            .collect();
+        for rv in running {
+            let end = rv.reservation_end(now);
+            nodes.reserve(rv.job.nodes as f64, rv.started, end);
+            for (name, profile) in licenses.iter_mut() {
+                let amount = rv.job.licenses.get(name);
+                if amount > 0.0 {
+                    profile.reserve(amount, rv.started, end);
+                }
+            }
+        }
+        NodeTracker { nodes, licenses }
+    }
+}
+
+impl ReservationTracker for NodeTracker {
+    fn earliest_start(&mut self, job: &SchedJob, t_min: SimTime) -> SimTime {
+        // Fixpoint over all resource dimensions, mirroring the paper's
+        // Algorithm 4 structure generalised to N dimensions: repeat until
+        // one full pass leaves `t` unchanged.
+        let mut t = t_min;
+        loop {
+            let start = t;
+            t = self
+                .nodes
+                .earliest_fit(t, job.limit, job.nodes as f64);
+            for (name, profile) in &self.licenses {
+                let amount = job.licenses.get(name);
+                if amount > 0.0 {
+                    t = profile.earliest_fit(t, job.limit, amount);
+                }
+            }
+            if t == start || t == SimTime::FAR_FUTURE {
+                return t;
+            }
+        }
+    }
+
+    fn reserve(&mut self, job: &SchedJob, start: SimTime) {
+        let end = start + job.limit;
+        self.nodes.reserve(job.nodes as f64, start, end);
+        for (name, profile) in self.licenses.iter_mut() {
+            let amount = job.licenses.get(name);
+            if amount > 0.0 {
+                profile.reserve(amount, start, end);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64, nodes: usize, limit_s: u64) -> SchedJob {
+        SchedJob::new(
+            JobId(id),
+            format!("j{id}"),
+            nodes,
+            SimDuration::from_secs(limit_s),
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn node_tracker_respects_running_jobs() {
+        let mut policy = NodePolicy::default();
+        let r1 = job(1, 10, 100);
+        let running = [RunningView {
+            job: &r1,
+            started: SimTime::ZERO,
+        }];
+        let mut tracker = policy.init_tracker(&running, &[], SimTime::ZERO, 15);
+        // 5 nodes free now; a 5-node job fits immediately, 6-node waits.
+        let j5 = job(2, 5, 50);
+        let j6 = job(3, 6, 50);
+        assert_eq!(tracker.earliest_start(&j5, SimTime::ZERO), SimTime::ZERO);
+        assert_eq!(
+            tracker.earliest_start(&j6, SimTime::ZERO),
+            SimTime::from_secs(100)
+        );
+    }
+
+    #[test]
+    fn reservations_stack() {
+        let mut policy = NodePolicy::default();
+        let mut tracker = policy.init_tracker(&[], &[], SimTime::ZERO, 10);
+        let a = job(1, 6, 100);
+        let b = job(2, 6, 100);
+        tracker.reserve(&a, SimTime::ZERO);
+        // b cannot overlap a.
+        assert_eq!(
+            tracker.earliest_start(&b, SimTime::ZERO),
+            SimTime::from_secs(100)
+        );
+        tracker.reserve(&b, SimTime::from_secs(100));
+        let c = job(3, 4, 10);
+        // c (4 nodes) fits alongside either.
+        assert_eq!(tracker.earliest_start(&c, SimTime::ZERO), SimTime::ZERO);
+    }
+
+    #[test]
+    fn license_tracking_limits_starts() {
+        let mut policy = NodePolicy::default();
+        policy.license_totals.insert("lustre".into(), 10.0);
+        let mut la = job(1, 1, 100);
+        la.licenses.set("lustre", 8.0);
+        let mut lb = job(2, 1, 100);
+        lb.licenses.set("lustre", 5.0);
+        let mut tracker = policy.init_tracker(&[], &[], SimTime::ZERO, 15);
+        tracker.reserve(&la, SimTime::ZERO);
+        // Nodes are plentiful but the license pool forces a delay.
+        assert_eq!(
+            tracker.earliest_start(&lb, SimTime::ZERO),
+            SimTime::from_secs(100)
+        );
+    }
+
+    #[test]
+    fn running_jobs_consume_licenses_too() {
+        let mut policy = NodePolicy::default();
+        policy.license_totals.insert("lustre".into(), 10.0);
+        let mut r = job(1, 1, 60);
+        r.licenses.set("lustre", 10.0);
+        let running = [RunningView {
+            job: &r,
+            started: SimTime::ZERO,
+        }];
+        let mut tracker = policy.init_tracker(&running, &[], SimTime::ZERO, 15);
+        let mut q = job(2, 1, 30);
+        q.licenses.set("lustre", 1.0);
+        assert_eq!(
+            tracker.earliest_start(&q, SimTime::ZERO),
+            SimTime::from_secs(60)
+        );
+    }
+}

@@ -1,0 +1,338 @@
+//! Piecewise-constant resource reservation profiles.
+//!
+//! A [`ResourceProfile`] is the data structure behind every reservation
+//! tracker in the system: Slurm's node tracker (`NT`), the I/O-aware
+//! Lustre-throughput tracker (`LT`, paper Algorithm 2) and the adjusted
+//! throughput tracker of the workload-adaptive scheduler (`AT`, paper
+//! Algorithm 5). It stores the total reserved amount as a step function of
+//! time and answers the two queries backfill needs:
+//!
+//! * [`ResourceProfile::reserve`] — add `amount` over `[start, end)`;
+//! * [`ResourceProfile::earliest_fit`] — the earliest time `t ≥ from` such
+//!   that an extra `amount` fits under the capacity for a whole window
+//!   `[t, t + dur)` (the inner step of `EarliestStartTime`).
+//!
+//! Amounts are `f64` and may be negative (the workload-adaptive AT tracker
+//! reserves `r_j − n_j·r̄_zero`, which is negative for low-I/O running
+//! jobs); usage is allowed to dip below zero.
+
+use iosched_simkit::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Relative tolerance used when comparing usage against capacity, so that
+/// reserving exactly the remaining capacity still "fits".
+fn eps_for(cap: f64) -> f64 {
+    1e-9 * cap.abs().max(1.0)
+}
+
+/// A step function of reserved amount over time, with a fixed capacity.
+#[derive(Clone, Debug)]
+pub struct ResourceProfile {
+    capacity: f64,
+    /// Change of the reserved amount at each breakpoint.
+    deltas: BTreeMap<SimTime, f64>,
+}
+
+impl ResourceProfile {
+    /// Empty profile with the given capacity (must be finite).
+    pub fn new(capacity: f64) -> Self {
+        assert!(capacity.is_finite(), "capacity must be finite");
+        ResourceProfile {
+            capacity,
+            deltas: BTreeMap::new(),
+        }
+    }
+
+    /// The capacity this profile enforces in [`Self::earliest_fit`].
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Reserve `amount` (may be negative) over `[start, end)`. Empty or
+    /// inverted intervals are ignored.
+    pub fn reserve(&mut self, amount: f64, start: SimTime, end: SimTime) {
+        if end <= start || amount == 0.0 {
+            return;
+        }
+        *self.deltas.entry(start).or_insert(0.0) += amount;
+        *self.deltas.entry(end).or_insert(0.0) -= amount;
+    }
+
+    /// Total reserved amount at time `t`.
+    pub fn usage_at(&self, t: SimTime) -> f64 {
+        self.deltas
+            .range(..=t)
+            .map(|(_, &d)| d)
+            .sum()
+    }
+
+    /// Maximum reserved amount over `[start, end)`; `usage_at(start)` if
+    /// there are no breakpoints inside the window. Returns 0.0 for empty
+    /// windows.
+    pub fn max_over(&self, start: SimTime, end: SimTime) -> f64 {
+        if end <= start {
+            return 0.0;
+        }
+        let mut usage = self.usage_at(start);
+        let mut max = usage;
+        for (_, &d) in self
+            .deltas
+            .range((
+                std::ops::Bound::Excluded(start),
+                std::ops::Bound::Excluded(end),
+            ))
+        {
+            usage += d;
+            max = max.max(usage);
+        }
+        max
+    }
+
+    /// Earliest `t ≥ from` such that the reserved amount stays at or below
+    /// `threshold` throughout `[t, t + dur)`.
+    ///
+    /// Always terminates: after the last breakpoint the profile is
+    /// constant (zero if all reservations have finite ends), so the scan
+    /// ends at the last breakpoint at the latest — if even that fails, the
+    /// profile's tail usage exceeds the threshold forever and
+    /// [`SimTime::FAR_FUTURE`] is returned.
+    pub fn earliest_at_most(
+        &self,
+        from: SimTime,
+        dur: SimDuration,
+        threshold: f64,
+    ) -> SimTime {
+        let eps = eps_for(self.capacity);
+        let fits = |t: SimTime| -> bool {
+            self.max_over(t, t + dur.max(SimDuration::from_millis(1))) <= threshold + eps
+        };
+        let mut t = from;
+        loop {
+            if fits(t) {
+                return t;
+            }
+            // Jump to the next breakpoint after the *latest violating
+            // instant* would be ideal; jumping to the next breakpoint
+            // after `t` is simpler and still O(breakpoints) overall
+            // because each iteration passes at least one breakpoint.
+            let next = self
+                .deltas
+                .range((std::ops::Bound::Excluded(t), std::ops::Bound::Unbounded))
+                .next()
+                .map(|(&bt, _)| bt);
+            match next {
+                Some(bt) => t = bt,
+                None => return SimTime::FAR_FUTURE,
+            }
+        }
+    }
+
+    /// Earliest `t ≥ from` at which an additional `amount` fits under the
+    /// capacity for the whole window `[t, t + dur)`.
+    pub fn earliest_fit(&self, from: SimTime, dur: SimDuration, amount: f64) -> SimTime {
+        self.earliest_at_most(from, dur, self.capacity - amount)
+    }
+
+    /// Breakpoints and cumulative usage, for diagnostics and tests.
+    pub fn steps(&self) -> Vec<(SimTime, f64)> {
+        let mut usage = 0.0;
+        self.deltas
+            .iter()
+            .map(|(&t, &d)| {
+                usage += d;
+                (t, usage)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+    fn d(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn usage_tracks_reservations() {
+        let mut p = ResourceProfile::new(10.0);
+        p.reserve(4.0, t(10), t(20));
+        p.reserve(3.0, t(15), t(25));
+        assert_eq!(p.usage_at(t(0)), 0.0);
+        assert_eq!(p.usage_at(t(10)), 4.0);
+        assert_eq!(p.usage_at(t(15)), 7.0);
+        assert_eq!(p.usage_at(t(20)), 3.0);
+        assert_eq!(p.usage_at(t(25)), 0.0);
+    }
+
+    #[test]
+    fn max_over_windows() {
+        let mut p = ResourceProfile::new(10.0);
+        p.reserve(4.0, t(10), t(20));
+        p.reserve(3.0, t(15), t(25));
+        assert_eq!(p.max_over(t(0), t(10)), 0.0);
+        assert_eq!(p.max_over(t(0), t(16)), 7.0);
+        assert_eq!(p.max_over(t(12), t(14)), 4.0);
+        assert_eq!(p.max_over(t(21), t(30)), 3.0);
+        assert_eq!(p.max_over(t(5), t(5)), 0.0);
+    }
+
+    #[test]
+    fn earliest_fit_simple() {
+        let mut p = ResourceProfile::new(10.0);
+        p.reserve(8.0, t(0), t(100));
+        // 2 units fit immediately; 3 only after the block ends.
+        assert_eq!(p.earliest_fit(t(0), d(10), 2.0), t(0));
+        assert_eq!(p.earliest_fit(t(0), d(10), 3.0), t(100));
+    }
+
+    #[test]
+    fn earliest_fit_finds_gap_large_enough() {
+        let mut p = ResourceProfile::new(10.0);
+        p.reserve(10.0, t(0), t(50));
+        p.reserve(10.0, t(60), t(100));
+        // A 10 s window fits exactly in the [50, 60) gap.
+        assert_eq!(p.earliest_fit(t(0), d(10), 10.0), t(50));
+        // A 20 s window does not; it must wait until t=100.
+        assert_eq!(p.earliest_fit(t(0), d(20), 10.0), t(100));
+    }
+
+    #[test]
+    fn earliest_fit_exact_capacity_boundary() {
+        let mut p = ResourceProfile::new(10.0);
+        p.reserve(6.0, t(0), t(100));
+        // Exactly-fitting amount is accepted (epsilon tolerance).
+        assert_eq!(p.earliest_fit(t(0), d(10), 4.0), t(0));
+        assert_eq!(p.earliest_fit(t(0), d(10), 4.0000001), t(100));
+    }
+
+    #[test]
+    fn earliest_at_most_threshold_query() {
+        let mut p = ResourceProfile::new(100.0);
+        p.reserve(5.0, t(0), t(30));
+        p.reserve(5.0, t(10), t(20));
+        // A 5 s window below threshold 8 fits immediately (usage 5 on
+        // [0,10)); a 15 s window cannot avoid the [10,20) peak until t=20.
+        assert_eq!(p.earliest_at_most(t(0), d(5), 8.0), t(0));
+        assert_eq!(p.earliest_at_most(t(0), d(15), 8.0), t(20));
+        // Threshold 5 with a 15 s window: t=20 works (usage 5 then 0).
+        assert_eq!(p.earliest_at_most(t(0), d(15), 5.0), t(20));
+        // Threshold 4: must wait for everything to end.
+        assert_eq!(p.earliest_at_most(t(0), d(5), 4.0), t(30));
+    }
+
+    #[test]
+    fn infeasible_returns_far_future() {
+        let mut p = ResourceProfile::new(10.0);
+        // Permanent overload: reservation to FAR_FUTURE.
+        p.reserve(10.0, t(0), SimTime::FAR_FUTURE);
+        assert_eq!(p.earliest_fit(t(0), d(10), 5.0), SimTime::FAR_FUTURE);
+    }
+
+    #[test]
+    fn negative_amounts_lower_usage() {
+        let mut p = ResourceProfile::new(10.0);
+        p.reserve(8.0, t(0), t(100));
+        p.reserve(-3.0, t(0), t(100));
+        assert_eq!(p.usage_at(t(50)), 5.0);
+        assert_eq!(p.earliest_fit(t(0), d(10), 5.0), t(0));
+    }
+
+    #[test]
+    fn empty_and_inverted_intervals_ignored() {
+        let mut p = ResourceProfile::new(10.0);
+        p.reserve(5.0, t(10), t(10));
+        p.reserve(5.0, t(20), t(10));
+        assert!(p.steps().is_empty());
+    }
+
+    #[test]
+    fn capacity_accessor_and_stacked_identical_intervals() {
+        let mut p = ResourceProfile::new(7.5);
+        assert_eq!(p.capacity(), 7.5);
+        // Three reservations over the identical interval accumulate.
+        for _ in 0..3 {
+            p.reserve(2.0, t(5), t(10));
+        }
+        assert_eq!(p.usage_at(t(5)), 6.0);
+        assert_eq!(p.usage_at(t(10)), 0.0);
+        assert_eq!(p.steps().len(), 2);
+        // 1.5 fits exactly at capacity; 2.0 does not until t=10.
+        assert_eq!(p.earliest_fit(t(0), d(5), 1.5), t(0).max(SimTime::ZERO));
+        assert_eq!(p.earliest_fit(t(5), d(2), 2.0), t(10));
+    }
+
+    #[test]
+    fn earliest_fit_beyond_all_breakpoints_is_immediate() {
+        let mut p = ResourceProfile::new(10.0);
+        p.reserve(10.0, t(0), t(10));
+        // Querying from far past the last breakpoint: free immediately.
+        assert_eq!(p.earliest_fit(t(1000), d(50), 10.0), t(1000));
+    }
+
+    #[test]
+    fn zero_duration_window_still_probes_an_instant() {
+        let mut p = ResourceProfile::new(10.0);
+        p.reserve(10.0, t(0), t(10));
+        // dur = 0 behaves like a 1 ms window.
+        assert_eq!(p.earliest_fit(t(0), SimDuration::ZERO, 1.0), t(10));
+    }
+
+    proptest! {
+        /// earliest_fit's result actually fits, and no earlier breakpoint-
+        /// aligned candidate fits.
+        #[test]
+        fn prop_earliest_fit_correct(
+            resv in proptest::collection::vec((0u64..50, 1u64..30, 0.5f64..5.0), 0..12),
+            from in 0u64..40,
+            dur in 1u64..20,
+            amount in 0.5f64..6.0,
+        ) {
+            let cap = 10.0;
+            let mut p = ResourceProfile::new(cap);
+            for &(s, len, a) in &resv {
+                p.reserve(a, t(s), t(s + len));
+            }
+            let got = p.earliest_fit(t(from), d(dur), amount);
+            if got != SimTime::FAR_FUTURE {
+                // It fits at `got`.
+                prop_assert!(p.max_over(got, got + d(dur)) <= cap - amount + 1e-6);
+                // No earlier candidate among {from} ∪ breakpoints fits.
+                let mut candidates = vec![t(from)];
+                candidates.extend(p.steps().iter().map(|&(bt, _)| bt));
+                for c in candidates {
+                    if c >= t(from) && c < got {
+                        prop_assert!(
+                            p.max_over(c, c + d(dur)) > cap - amount - 1e-6,
+                            "earlier candidate {c} fits but earliest_fit returned {got}"
+                        );
+                    }
+                }
+            }
+        }
+
+        /// Usage is the sum of overlapping reservations at every probe point.
+        #[test]
+        fn prop_usage_matches_naive(
+            resv in proptest::collection::vec((0u64..50, 1u64..30, -3.0f64..5.0), 0..12),
+            probe in 0u64..100,
+        ) {
+            let mut p = ResourceProfile::new(10.0);
+            let mut naive = 0.0;
+            for &(s, len, a) in &resv {
+                if a != 0.0 {
+                    p.reserve(a, t(s), t(s + len));
+                }
+                if probe >= s && probe < s + len {
+                    naive += a;
+                }
+            }
+            prop_assert!((p.usage_at(t(probe)) - naive).abs() < 1e-9);
+        }
+    }
+}

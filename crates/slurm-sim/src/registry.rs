@@ -1,0 +1,474 @@
+//! Job lifecycle bookkeeping (the `slurmctld` job table).
+//!
+//! The registry owns every submitted job's metadata and state, provides
+//! the priority-ordered wait queue and running views the backfill pass
+//! consumes, and records the timing fields the evaluation needs
+//! (`s_j`, `b_j`, `c_j` → wait time `Q_j`, runtime `D_j`, makespan).
+
+use crate::policy::{RunningView, SchedJob};
+use iosched_simkit::ids::JobId;
+use iosched_simkit::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How the wait queue is ordered before the backfill pass (Algorithm 1,
+/// line 2: "Sort waiting jobs").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PriorityPolicy {
+    /// First-come-first-served: submission time, then id (Slurm's default
+    /// when no priority plugin reorders jobs; what the paper's
+    /// experiments use).
+    #[default]
+    Fifo,
+    /// Administrative priority (higher first), ties FIFO — Slurm's
+    /// multifactor-priority shape.
+    Priority,
+    /// Shortest requested limit first, ties FIFO — an SJF-style policy
+    /// useful for backfill studies.
+    ShortestLimitFirst,
+}
+
+/// Lifecycle state of a job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in the queue.
+    Pending,
+    /// Executing since `started`.
+    Running { started: SimTime },
+    /// Finished normally.
+    Completed { started: SimTime, ended: SimTime },
+    /// Killed at its runtime limit (Slurm `TIMEOUT`).
+    TimedOut { started: SimTime, ended: SimTime },
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    meta: SchedJob,
+    state: JobState,
+}
+
+/// The job table.
+#[derive(Clone, Debug, Default)]
+pub struct JobRegistry {
+    jobs: BTreeMap<JobId, Entry>,
+}
+
+impl JobRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a job in `Pending` state.
+    ///
+    /// # Panics
+    /// Panics on duplicate submission.
+    pub fn submit(&mut self, meta: SchedJob) {
+        let id = meta.id;
+        let prev = self.jobs.insert(
+            id,
+            Entry {
+                meta,
+                state: JobState::Pending,
+            },
+        );
+        assert!(prev.is_none(), "duplicate submission of {id}");
+    }
+
+    /// Number of submitted jobs (any state).
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when no jobs were submitted.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Job metadata.
+    pub fn meta(&self, id: JobId) -> Option<&SchedJob> {
+        self.jobs.get(&id).map(|e| &e.meta)
+    }
+
+    /// Job state.
+    pub fn state(&self, id: JobId) -> Option<JobState> {
+        self.jobs.get(&id).map(|e| e.state)
+    }
+
+    /// Transition a pending job to running at `t`.
+    pub fn mark_started(&mut self, id: JobId, t: SimTime) {
+        let e = self.jobs.get_mut(&id).unwrap_or_else(|| panic!("unknown {id}"));
+        assert_eq!(e.state, JobState::Pending, "{id} is not pending");
+        e.state = JobState::Running { started: t };
+    }
+
+    /// Transition a running job to completed at `t`.
+    pub fn mark_completed(&mut self, id: JobId, t: SimTime) {
+        let e = self.jobs.get_mut(&id).unwrap_or_else(|| panic!("unknown {id}"));
+        match e.state {
+            JobState::Running { started } => {
+                e.state = JobState::Completed {
+                    started,
+                    ended: t,
+                };
+            }
+            other => panic!("{id} is not running (state {other:?})"),
+        }
+    }
+
+    /// Transition a running job to timed-out (killed at its limit) at `t`.
+    pub fn mark_timed_out(&mut self, id: JobId, t: SimTime) {
+        let e = self.jobs.get_mut(&id).unwrap_or_else(|| panic!("unknown {id}"));
+        match e.state {
+            JobState::Running { started } => {
+                e.state = JobState::TimedOut { started, ended: t };
+            }
+            other => panic!("{id} is not running (state {other:?})"),
+        }
+    }
+
+    /// Pending jobs submitted at or before `now`, FIFO-ordered.
+    pub fn wait_queue(&self, now: SimTime) -> Vec<&SchedJob> {
+        self.wait_queue_ordered(now, PriorityPolicy::Fifo)
+    }
+
+    /// Pending jobs submitted at or before `now`, ordered by the given
+    /// priority policy.
+    pub fn wait_queue_ordered(
+        &self,
+        now: SimTime,
+        policy: PriorityPolicy,
+    ) -> Vec<&SchedJob> {
+        let mut q: Vec<&SchedJob> = self
+            .jobs
+            .values()
+            .filter(|e| {
+                e.state == JobState::Pending
+                    && e.meta.submit <= now
+                    && self.dependencies_met(&e.meta)
+            })
+            .map(|e| &e.meta)
+            .collect();
+        match policy {
+            PriorityPolicy::Fifo => q.sort_by_key(|j| (j.submit, j.id)),
+            PriorityPolicy::Priority => {
+                q.sort_by_key(|j| (std::cmp::Reverse(j.priority), j.submit, j.id))
+            }
+            PriorityPolicy::ShortestLimitFirst => {
+                q.sort_by_key(|j| (j.limit, j.submit, j.id))
+            }
+        }
+        q
+    }
+
+    /// True when every dependency of `job` has finished (`afterok`
+    /// semantics: completed or timed out). Unknown job ids never satisfy
+    /// — a dangling dependency holds the job forever, as in Slurm.
+    pub fn dependencies_met(&self, job: &SchedJob) -> bool {
+        job.after.iter().all(|dep| {
+            matches!(
+                self.jobs.get(dep).map(|e| &e.state),
+                Some(JobState::Completed { .. }) | Some(JobState::TimedOut { .. })
+            )
+        })
+    }
+
+    /// Views of the currently running jobs.
+    pub fn running_views(&self) -> Vec<RunningView<'_>> {
+        self.jobs
+            .values()
+            .filter_map(|e| match e.state {
+                JobState::Running { started } => Some(RunningView {
+                    job: &e.meta,
+                    started,
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Earliest future submission strictly after `now` (for event-driven
+    /// drivers with staggered arrivals).
+    pub fn next_submission_after(&self, now: SimTime) -> Option<SimTime> {
+        self.jobs
+            .values()
+            .filter(|e| e.state == JobState::Pending && e.meta.submit > now)
+            .map(|e| e.meta.submit)
+            .min()
+    }
+
+    /// True when every job has finished (completed or timed out).
+    pub fn all_completed(&self) -> bool {
+        self.jobs.values().all(|e| {
+            matches!(
+                e.state,
+                JobState::Completed { .. } | JobState::TimedOut { .. }
+            )
+        })
+    }
+
+    /// Completion time of the last job — the workload *makespan* — if all
+    /// jobs are done.
+    pub fn makespan(&self) -> Option<SimDuration> {
+        if self.jobs.is_empty() || !self.all_completed() {
+            return None;
+        }
+        let first_submit = self.jobs.values().map(|e| e.meta.submit).min().unwrap();
+        let last_end = self
+            .jobs
+            .values()
+            .map(|e| match e.state {
+                JobState::Completed { ended, .. } | JobState::TimedOut { ended, .. } => {
+                    ended
+                }
+                _ => unreachable!(),
+            })
+            .max()
+            .unwrap();
+        Some(last_end.saturating_since(first_submit))
+    }
+
+    /// Per-job (wait time `Q_j`, runtime `D_j`) for finished jobs
+    /// (completed or timed out).
+    pub fn timings(&self) -> Vec<(JobId, SimDuration, SimDuration)> {
+        self.jobs
+            .iter()
+            .filter_map(|(&id, e)| match e.state {
+                JobState::Completed { started, ended }
+                | JobState::TimedOut { started, ended } => Some((
+                    id,
+                    started.saturating_since(e.meta.submit),
+                    ended.saturating_since(started),
+                )),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Running jobs whose limit expires at or before `t`, with their
+    /// start times (candidates for limit enforcement).
+    pub fn overrunning(&self, t: SimTime) -> Vec<(JobId, SimTime)> {
+        self.jobs
+            .iter()
+            .filter_map(|(&id, e)| match e.state {
+                JobState::Running { started } if started + e.meta.limit <= t => {
+                    Some((id, started))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Earliest future limit expiry among running jobs.
+    pub fn next_limit_expiry(&self) -> Option<SimTime> {
+        self.jobs
+            .values()
+            .filter_map(|e| match e.state {
+                JobState::Running { started } => Some(started + e.meta.limit),
+                _ => None,
+            })
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64, submit_s: u64) -> SchedJob {
+        SchedJob::new(
+            JobId(id),
+            "test",
+            1,
+            SimDuration::from_secs(100),
+            SimTime::from_secs(submit_s),
+        )
+    }
+
+    #[test]
+    fn lifecycle_and_timings() {
+        let mut reg = JobRegistry::new();
+        reg.submit(job(1, 0));
+        reg.submit(job(2, 10));
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.state(JobId(1)), Some(JobState::Pending));
+
+        reg.mark_started(JobId(1), SimTime::from_secs(5));
+        reg.mark_completed(JobId(1), SimTime::from_secs(65));
+        reg.mark_started(JobId(2), SimTime::from_secs(20));
+        assert!(!reg.all_completed());
+        reg.mark_completed(JobId(2), SimTime::from_secs(80));
+        assert!(reg.all_completed());
+        assert_eq!(reg.makespan(), Some(SimDuration::from_secs(80)));
+
+        let mut t = reg.timings();
+        t.sort_by_key(|&(id, _, _)| id);
+        assert_eq!(
+            t[0],
+            (
+                JobId(1),
+                SimDuration::from_secs(5),
+                SimDuration::from_secs(60)
+            )
+        );
+        assert_eq!(
+            t[1],
+            (
+                JobId(2),
+                SimDuration::from_secs(10),
+                SimDuration::from_secs(60)
+            )
+        );
+    }
+
+    #[test]
+    fn wait_queue_is_fifo_and_respects_arrival() {
+        let mut reg = JobRegistry::new();
+        reg.submit(job(3, 10));
+        reg.submit(job(1, 0));
+        reg.submit(job(2, 0));
+        let q0: Vec<JobId> = reg
+            .wait_queue(SimTime::ZERO)
+            .iter()
+            .map(|j| j.id)
+            .collect();
+        assert_eq!(q0, vec![JobId(1), JobId(2)]);
+        let q10: Vec<JobId> = reg
+            .wait_queue(SimTime::from_secs(10))
+            .iter()
+            .map(|j| j.id)
+            .collect();
+        assert_eq!(q10, vec![JobId(1), JobId(2), JobId(3)]);
+        assert_eq!(
+            reg.next_submission_after(SimTime::ZERO),
+            Some(SimTime::from_secs(10))
+        );
+        assert_eq!(reg.next_submission_after(SimTime::from_secs(10)), None);
+    }
+
+    #[test]
+    fn priority_policies_reorder_the_queue() {
+        let mut reg = JobRegistry::new();
+        let mut a = job(1, 0); // limit 100
+        a.priority = 5;
+        let mut b = job(2, 0);
+        b.limit = SimDuration::from_secs(10);
+        b.priority = 1;
+        let mut c = job(3, 0);
+        c.limit = SimDuration::from_secs(50);
+        c.priority = 9;
+        reg.submit(a);
+        reg.submit(b);
+        reg.submit(c);
+        let ids = |q: Vec<&SchedJob>| q.iter().map(|j| j.id.0).collect::<Vec<_>>();
+        assert_eq!(
+            ids(reg.wait_queue_ordered(SimTime::ZERO, PriorityPolicy::Fifo)),
+            vec![1, 2, 3]
+        );
+        assert_eq!(
+            ids(reg.wait_queue_ordered(SimTime::ZERO, PriorityPolicy::Priority)),
+            vec![3, 1, 2]
+        );
+        assert_eq!(
+            ids(reg.wait_queue_ordered(SimTime::ZERO, PriorityPolicy::ShortestLimitFirst)),
+            vec![2, 3, 1]
+        );
+    }
+
+    #[test]
+    fn running_views_reflect_started_jobs() {
+        let mut reg = JobRegistry::new();
+        reg.submit(job(1, 0));
+        reg.submit(job(2, 0));
+        reg.mark_started(JobId(2), SimTime::from_secs(3));
+        let views = reg.running_views();
+        assert_eq!(views.len(), 1);
+        assert_eq!(views[0].job.id, JobId(2));
+        assert_eq!(views[0].started, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn makespan_requires_completion() {
+        let mut reg = JobRegistry::new();
+        assert_eq!(reg.makespan(), None);
+        reg.submit(job(1, 0));
+        assert_eq!(reg.makespan(), None);
+    }
+
+    #[test]
+    fn dependencies_gate_queue_eligibility() {
+        let mut reg = JobRegistry::new();
+        reg.submit(job(1, 0));
+        reg.submit(job(2, 0).with_after(vec![JobId(1)]));
+        reg.submit(job(3, 0).with_after(vec![JobId(1), JobId(2)]));
+        let ids = |reg: &JobRegistry| {
+            reg.wait_queue(SimTime::ZERO)
+                .iter()
+                .map(|j| j.id.0)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(ids(&reg), vec![1]);
+        reg.mark_started(JobId(1), SimTime::ZERO);
+        assert_eq!(ids(&reg), Vec::<u64>::new());
+        reg.mark_completed(JobId(1), SimTime::from_secs(10));
+        assert_eq!(ids(&reg), vec![2]);
+        // Timed-out dependencies also satisfy (afterany-style leniency,
+        // matching this substrate's single dependency kind).
+        reg.mark_started(JobId(2), SimTime::from_secs(10));
+        reg.mark_timed_out(JobId(2), SimTime::from_secs(20));
+        assert_eq!(ids(&reg), vec![3]);
+    }
+
+    #[test]
+    fn dangling_dependency_never_satisfies() {
+        let mut reg = JobRegistry::new();
+        reg.submit(job(1, 0).with_after(vec![JobId(99)]));
+        assert!(reg.wait_queue(SimTime::from_secs(1000)).is_empty());
+    }
+
+    #[test]
+    fn timed_out_jobs_count_as_finished() {
+        let mut reg = JobRegistry::new();
+        reg.submit(job(1, 0));
+        reg.mark_started(JobId(1), SimTime::from_secs(10));
+        // Limit is 100 s → expiry at 110.
+        assert_eq!(
+            reg.next_limit_expiry(),
+            Some(SimTime::from_secs(110))
+        );
+        assert!(reg.overrunning(SimTime::from_secs(109)).is_empty());
+        assert_eq!(
+            reg.overrunning(SimTime::from_secs(110)),
+            vec![(JobId(1), SimTime::from_secs(10))]
+        );
+        reg.mark_timed_out(JobId(1), SimTime::from_secs(110));
+        assert!(reg.all_completed());
+        assert_eq!(reg.makespan(), Some(SimDuration::from_secs(110)));
+        assert_eq!(reg.timings().len(), 1);
+        assert_eq!(reg.next_limit_expiry(), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn timing_out_a_pending_job_panics() {
+        let mut reg = JobRegistry::new();
+        reg.submit(job(1, 0));
+        reg.mark_timed_out(JobId(1), SimTime::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_submit_panics() {
+        let mut reg = JobRegistry::new();
+        reg.submit(job(1, 0));
+        reg.submit(job(1, 0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn completing_pending_job_panics() {
+        let mut reg = JobRegistry::new();
+        reg.submit(job(1, 0));
+        reg.mark_completed(JobId(1), SimTime::from_secs(1));
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests of the backfill scheduler: for arbitrary queues
+//! and running sets, one scheduling round never violates the resource
+//! invariants.
+
+use iosched_simkit::ids::JobId;
+use iosched_simkit::time::{SimDuration, SimTime};
+use iosched_slurm::policy::NodePolicy;
+use iosched_slurm::{backfill_pass, BackfillConfig, ResourceProfile, RunningView, SchedJob};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Jobs started "now" plus already-running jobs never exceed the
+    /// cluster's node count, and the full reservation plan (running +
+    /// started + future reservations) never oversubscribes nodes at any
+    /// instant.
+    #[test]
+    fn backfill_never_oversubscribes_nodes(
+        queue_spec in proptest::collection::vec((1usize..8, 10u64..500), 1..30),
+        running_spec in proptest::collection::vec((1usize..8, 10u64..500, 0u64..100), 0..6),
+        total_nodes in 8usize..20,
+        backfill_max in prop_oneof![Just(1usize), Just(4), Just(usize::MAX)],
+    ) {
+        // Build running set (truncated to what fits).
+        let mut running_jobs: Vec<(SchedJob, SimTime)> = Vec::new();
+        let mut used = 0usize;
+        for (i, &(nodes, limit, started)) in running_spec.iter().enumerate() {
+            if used + nodes <= total_nodes {
+                used += nodes;
+                running_jobs.push((
+                    SchedJob::new(
+                        JobId(1000 + i as u64),
+                        format!("r{i}"),
+                        nodes,
+                        SimDuration::from_secs(limit + started), // never overrunning at now
+                        SimTime::ZERO,
+                    ),
+                    SimTime::from_secs(started / 2),
+                ));
+            }
+        }
+        let queue: Vec<SchedJob> = queue_spec
+            .iter()
+            .enumerate()
+            .map(|(i, &(nodes, limit))| {
+                SchedJob::new(
+                    JobId(i as u64),
+                    format!("q{i}"),
+                    nodes.min(total_nodes),
+                    SimDuration::from_secs(limit),
+                    SimTime::ZERO,
+                )
+            })
+            .collect();
+        let queue_refs: Vec<&SchedJob> = queue.iter().collect();
+        let views: Vec<RunningView<'_>> = running_jobs
+            .iter()
+            .map(|(j, s)| RunningView { job: j, started: *s })
+            .collect();
+
+        let now = SimTime::from_secs(200);
+        let out = backfill_pass(
+            &mut NodePolicy::default(),
+            &views,
+            &queue_refs,
+            now,
+            total_nodes,
+            &BackfillConfig { max_reservations: backfill_max },
+        );
+
+        // Rebuild the full plan into a fresh profile and check it.
+        let mut profile = ResourceProfile::new(total_nodes as f64);
+        for rv in &views {
+            profile.reserve(
+                rv.job.nodes as f64,
+                rv.started,
+                rv.reservation_end(now),
+            );
+        }
+        let by_id = |id: JobId| queue.iter().find(|j| j.id == id).unwrap();
+        for &id in &out.start_now {
+            let j = by_id(id);
+            profile.reserve(j.nodes as f64, now, now + j.limit);
+        }
+        for &(id, at) in &out.reservations {
+            let j = by_id(id);
+            prop_assert!(at > now, "reservation must be in the future");
+            profile.reserve(j.nodes as f64, at, at + j.limit);
+        }
+        let max = profile.max_over(SimTime::ZERO, SimTime::from_secs(10_000));
+        prop_assert!(
+            max <= total_nodes as f64 + 1e-6,
+            "plan oversubscribes: {max} > {total_nodes}"
+        );
+
+        // Every queued job is accounted exactly once.
+        let mut seen = out.start_now.len() + out.reservations.len() + out.skipped.len();
+        prop_assert_eq!(seen, queue.len());
+        let mut all: Vec<JobId> = out
+            .start_now
+            .iter()
+            .chain(out.reservations.iter().map(|(id, _)| id))
+            .chain(out.skipped.iter())
+            .copied()
+            .collect();
+        all.sort();
+        all.dedup();
+        seen = all.len();
+        prop_assert_eq!(seen, queue.len(), "duplicate decisions");
+
+        // Skips only happen with a bounded reservation budget.
+        if backfill_max == usize::MAX {
+            prop_assert!(out.skipped.is_empty());
+        } else {
+            prop_assert!(out.reservations.len() <= backfill_max);
+        }
+    }
+
+    /// Work conservation: if any queued job fits in the free nodes right
+    /// now (with no future reservations to respect under EASY's first
+    /// reservation), the round starts at least one job.
+    #[test]
+    fn backfill_starts_head_job_when_cluster_is_empty(
+        queue_spec in proptest::collection::vec((1usize..8, 10u64..500), 1..20),
+        total_nodes in 8usize..20,
+    ) {
+        let queue: Vec<SchedJob> = queue_spec
+            .iter()
+            .enumerate()
+            .map(|(i, &(nodes, limit))| {
+                SchedJob::new(
+                    JobId(i as u64),
+                    format!("q{i}"),
+                    nodes.min(total_nodes),
+                    SimDuration::from_secs(limit),
+                    SimTime::ZERO,
+                )
+            })
+            .collect();
+        let refs: Vec<&SchedJob> = queue.iter().collect();
+        let out = backfill_pass(
+            &mut NodePolicy::default(),
+            &[],
+            &refs,
+            SimTime::ZERO,
+            total_nodes,
+            &BackfillConfig::default(),
+        );
+        // Head job always fits on an empty cluster.
+        prop_assert!(out.start_now.contains(&queue[0].id));
+    }
+}

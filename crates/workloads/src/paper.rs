@@ -1,0 +1,135 @@
+//! The paper's two evaluation workloads.
+
+use crate::builder::{JobSubmission, WorkloadBuilder};
+use iosched_cluster::ExecSpec;
+use iosched_simkit::time::SimDuration;
+use iosched_simkit::units::gib;
+
+/// Tunable parameters of the paper workloads. Defaults follow §IV.
+#[derive(Clone, Debug)]
+pub struct PaperParams {
+    /// Bytes each writer thread produces (paper: 10 GiB).
+    pub bytes_per_thread: f64,
+    /// Sleep-job duration (paper: 600 s).
+    pub sleep_duration: SimDuration,
+    /// Requested runtime limit for write jobs (not given in the paper; a
+    /// generous bound well above the worst congested runtime).
+    pub write_limit: SimDuration,
+    /// Requested runtime limit for sleep jobs.
+    pub sleep_limit: SimDuration,
+}
+
+impl Default for PaperParams {
+    fn default() -> Self {
+        PaperParams {
+            bytes_per_thread: gib(10.0),
+            sleep_duration: SimDuration::from_secs(600),
+            write_limit: SimDuration::from_secs(3600),
+            sleep_limit: SimDuration::from_secs(700),
+        }
+    }
+}
+
+/// Canonical name for an `N`-thread write job ("write×N").
+pub fn write_name(threads: usize) -> String {
+    format!("write_x{threads}")
+}
+
+/// The paper's "write×N" job: `threads` writer threads on one node, each
+/// writing [`PaperParams::bytes_per_thread`].
+pub fn write_xn_job(params: &PaperParams, threads: usize) -> ExecSpec {
+    ExecSpec::write_xn(threads, params.bytes_per_thread)
+}
+
+/// The paper's "sleep" job: one node idle for
+/// [`PaperParams::sleep_duration`].
+pub fn sleep_job(params: &PaperParams) -> ExecSpec {
+    ExecSpec::sleep(params.sleep_duration)
+}
+
+/// Workload 1 (§IV): 8 waves × {30 write×8, 60 sleep} = 720 jobs, all
+/// submitted at t = 0 in wave order.
+pub fn workload_1(params: &PaperParams) -> Vec<JobSubmission> {
+    WorkloadBuilder::new()
+        .waves(8, |b| {
+            b.batch(30, &write_name(8), write_xn_job(params, 8), params.write_limit)
+                .batch(60, "sleep", sleep_job(params), params.sleep_limit)
+        })
+        .build()
+}
+
+/// Workload 2 (§VII-A): 5 waves × {30 write×8, 30 write×6, 30 write×4,
+/// 70 write×2, 120 write×1, 30 sleep} = 1550 jobs, all at t = 0.
+pub fn workload_2(params: &PaperParams) -> Vec<JobSubmission> {
+    WorkloadBuilder::new()
+        .waves(5, |b| {
+            b.batch(30, &write_name(8), write_xn_job(params, 8), params.write_limit)
+                .batch(30, &write_name(6), write_xn_job(params, 6), params.write_limit)
+                .batch(30, &write_name(4), write_xn_job(params, 4), params.write_limit)
+                .batch(70, &write_name(2), write_xn_job(params, 2), params.write_limit)
+                .batch(120, &write_name(1), write_xn_job(params, 1), params.write_limit)
+                .batch(30, "sleep", sleep_job(params), params.sleep_limit)
+        })
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iosched_simkit::units::to_gib;
+
+    #[test]
+    fn workload_1_matches_paper_counts() {
+        let w = workload_1(&PaperParams::default());
+        assert_eq!(w.len(), 720);
+        let writes = w.iter().filter(|j| j.name == "write_x8").count();
+        let sleeps = w.iter().filter(|j| j.name == "sleep").count();
+        assert_eq!(writes, 240);
+        assert_eq!(sleeps, 480);
+        // Wave order: first 30 are writes, next 60 sleeps.
+        assert!(w[..30].iter().all(|j| j.name == "write_x8"));
+        assert!(w[30..90].iter().all(|j| j.name == "sleep"));
+        assert!(w[90..120].iter().all(|j| j.name == "write_x8"));
+        // 80 GiB per write job.
+        assert_eq!(to_gib(w[0].exec.total_write_bytes()), 80.0);
+        // One node per job, ids sequential.
+        assert!(w.iter().all(|j| j.exec.nodes == 1));
+        assert!(w.iter().enumerate().all(|(i, j)| j.id.0 == i as u64));
+    }
+
+    #[test]
+    fn workload_2_matches_paper_counts() {
+        let w = workload_2(&PaperParams::default());
+        assert_eq!(w.len(), 1550);
+        let count = |n: &str| w.iter().filter(|j| j.name == n).count();
+        assert_eq!(count("write_x8"), 150);
+        assert_eq!(count("write_x6"), 150);
+        assert_eq!(count("write_x4"), 150);
+        assert_eq!(count("write_x2"), 350);
+        assert_eq!(count("write_x1"), 600);
+        assert_eq!(count("sleep"), 150);
+        // Volumes: 80/60/40/20/10 GiB per job class.
+        let vol = |n: &str| {
+            to_gib(
+                w.iter()
+                    .find(|j| j.name == n)
+                    .unwrap()
+                    .exec
+                    .total_write_bytes(),
+            )
+        };
+        assert_eq!(vol("write_x8"), 80.0);
+        assert_eq!(vol("write_x6"), 60.0);
+        assert_eq!(vol("write_x4"), 40.0);
+        assert_eq!(vol("write_x2"), 20.0);
+        assert_eq!(vol("write_x1"), 10.0);
+    }
+
+    #[test]
+    fn total_volume_of_workload_2() {
+        // Per wave: 30·80 + 30·60 + 30·40 + 70·20 + 120·10 = 8000 GiB.
+        let w = workload_2(&PaperParams::default());
+        let total: f64 = w.iter().map(|j| j.exec.total_write_bytes()).sum();
+        assert_eq!(to_gib(total), 5.0 * 8000.0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Standard Workload Format (SWF) support.
+//!
+//! SWF is the de-facto trace format of the Parallel Workloads Archive;
+//! virtually every published job log (including the ones used to study
+//! backfill schedulers) is distributed in it. This module parses SWF text
+//! into [`JobSubmission`]s so real traces can be replayed against the
+//! schedulers.
+//!
+//! SWF has 18 whitespace-separated fields per line; `;` starts a comment.
+//! The fields used here:
+//!
+//! | # | field | use |
+//! |---|---|---|
+//! | 1 | job number | id |
+//! | 2 | submit time (s) | `submit` |
+//! | 4 | run time (s) | execution length |
+//! | 5 | allocated processors | node count (via `cpus_per_node`) |
+//! | 9 | requested time (s) | limit `L_j` (falls back to run time) |
+//!
+//! SWF carries no I/O information, so replayed jobs execute as pure
+//! compute by default; [`SwfOptions::io_fraction`] optionally converts a
+//! fraction of each job's runtime into a trailing write phase at a given
+//! per-node rate, a common synthetic-I/O augmentation.
+
+use crate::builder::JobSubmission;
+use iosched_cluster::{ExecSpec, Phase};
+use iosched_simkit::ids::JobId;
+use iosched_simkit::time::{SimDuration, SimTime};
+
+/// Conversion options.
+#[derive(Clone, Debug)]
+pub struct SwfOptions {
+    /// Processors per node of the traced machine (SWF counts CPUs).
+    pub cpus_per_node: usize,
+    /// Cap on nodes per job (jobs needing more are clamped; keeps small
+    /// test clusters usable with big-machine traces).
+    pub max_nodes: usize,
+    /// Fraction of each job's runtime converted into a trailing write
+    /// phase (0.0 = pure compute).
+    pub io_fraction: f64,
+    /// Write rate per node assumed when materialising the I/O phase,
+    /// bytes/s (determines the phase's volume).
+    pub io_rate_per_node_bps: f64,
+    /// Skip jobs whose status/run time mark them as cancelled (< 0 run
+    /// time or zero processors).
+    pub skip_invalid: bool,
+}
+
+impl Default for SwfOptions {
+    fn default() -> Self {
+        SwfOptions {
+            cpus_per_node: 1,
+            max_nodes: usize::MAX,
+            io_fraction: 0.0,
+            io_rate_per_node_bps: 0.0,
+            skip_invalid: true,
+        }
+    }
+}
+
+/// A parse failure with its line number (1-based).
+#[derive(Debug, PartialEq, Eq)]
+pub struct SwfError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for SwfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SWF line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SwfError {}
+
+/// Parse SWF text into submissions. Comment (`;`) and blank lines are
+/// skipped; invalid jobs are skipped or rejected per
+/// [`SwfOptions::skip_invalid`].
+pub fn parse_swf(text: &str, opts: &SwfOptions) -> Result<Vec<JobSubmission>, SwfError> {
+    assert!(opts.cpus_per_node >= 1, "cpus_per_node must be at least 1");
+    assert!(
+        (0.0..=1.0).contains(&opts.io_fraction),
+        "io_fraction must be in [0, 1]"
+    );
+    let mut jobs = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with(';') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() < 5 {
+            return Err(SwfError {
+                line: line_no,
+                message: format!("expected at least 5 fields, got {}", fields.len()),
+            });
+        }
+        let parse_i64 = |i: usize| -> Result<i64, SwfError> {
+            fields
+                .get(i)
+                .and_then(|s| s.parse::<i64>().ok())
+                .ok_or_else(|| SwfError {
+                    line: line_no,
+                    message: format!("field {} is not an integer", i + 1),
+                })
+        };
+        let job_no = parse_i64(0)?;
+        let submit = parse_i64(1)?;
+        let run_time = parse_i64(3)?;
+        let procs = parse_i64(4)?;
+        let requested = fields
+            .get(8)
+            .and_then(|s| s.parse::<i64>().ok())
+            .unwrap_or(-1);
+
+        if run_time < 0 || procs <= 0 || submit < 0 {
+            if opts.skip_invalid {
+                continue;
+            }
+            return Err(SwfError {
+                line: line_no,
+                message: "negative run time / non-positive processors".into(),
+            });
+        }
+
+        let nodes = ((procs as usize).div_ceil(opts.cpus_per_node))
+            .clamp(1, opts.max_nodes);
+        let run_secs = run_time as u64;
+        let limit_secs = if requested > 0 {
+            (requested as u64).max(run_secs)
+        } else {
+            run_secs.max(1)
+        };
+
+        let io_secs = (run_secs as f64 * opts.io_fraction).round() as u64;
+        let compute_secs = run_secs - io_secs.min(run_secs);
+        let mut phases = Vec::new();
+        if compute_secs > 0 || io_secs == 0 {
+            phases.push(Phase::Compute(SimDuration::from_secs(compute_secs.max(1))));
+        }
+        if io_secs > 0 && opts.io_rate_per_node_bps > 0.0 {
+            phases.push(Phase::Write {
+                threads_per_node: 1,
+                bytes_per_thread: opts.io_rate_per_node_bps * io_secs as f64,
+            });
+        }
+
+        jobs.push(JobSubmission {
+            id: JobId(job_no as u64),
+            name: format!("swf_p{procs}"),
+            exec: ExecSpec { nodes, phases },
+            limit: SimDuration::from_secs(limit_secs),
+            submit: SimTime::from_secs(submit as u64),
+            priority: 0,
+            after: Vec::new(),
+        });
+    }
+    Ok(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iosched_simkit::units::gibps;
+
+    const SAMPLE: &str = "\
+; SWF sample header
+; MaxNodes: 128
+1 0 0 100 4 -1 -1 4 200 -1 1 1 1 1 1 -1 -1 -1
+2 30 5 50 1 -1 -1 1 -1 -1 1 1 1 1 1 -1 -1 -1
+
+3 60 2 -1 2 -1 -1 2 100 -1 0 1 1 1 1 -1 -1 -1
+4 90 0 20 0 -1 -1 0 30 -1 0 1 1 1 1 -1 -1 -1
+";
+
+    #[test]
+    fn parses_valid_jobs_and_skips_invalid() {
+        let jobs = parse_swf(SAMPLE, &SwfOptions::default()).unwrap();
+        // Jobs 3 (run time −1) and 4 (0 procs) are skipped.
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].id, JobId(1));
+        assert_eq!(jobs[0].submit, SimTime::from_secs(0));
+        assert_eq!(jobs[0].exec.nodes, 4);
+        assert_eq!(jobs[0].limit, SimDuration::from_secs(200));
+        assert_eq!(jobs[1].submit, SimTime::from_secs(30));
+        // Requested time missing (−1) → limit = run time.
+        assert_eq!(jobs[1].limit, SimDuration::from_secs(50));
+    }
+
+    #[test]
+    fn cpus_per_node_scaling_and_clamp() {
+        let opts = SwfOptions {
+            cpus_per_node: 2,
+            max_nodes: 1,
+            ..SwfOptions::default()
+        };
+        let jobs = parse_swf(SAMPLE, &opts).unwrap();
+        // Job 1: 4 procs / 2 = 2 nodes, clamped to 1.
+        assert_eq!(jobs[0].exec.nodes, 1);
+    }
+
+    #[test]
+    fn io_augmentation_adds_write_phase() {
+        let opts = SwfOptions {
+            io_fraction: 0.2,
+            io_rate_per_node_bps: gibps(1.0),
+            ..SwfOptions::default()
+        };
+        let jobs = parse_swf(SAMPLE, &opts).unwrap();
+        // Job 1: 100 s runtime → 80 s compute + 20 s of I/O at 1 GiB/s.
+        let spec = &jobs[0].exec;
+        assert_eq!(spec.phases.len(), 2);
+        assert!((spec.total_write_bytes() - gibps(1.0) * 20.0 * 4.0).abs() < 1.0);
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn strict_mode_rejects_invalid_jobs() {
+        let opts = SwfOptions {
+            skip_invalid: false,
+            ..SwfOptions::default()
+        };
+        let err = parse_swf(SAMPLE, &opts).unwrap_err();
+        assert_eq!(err.line, 6); // job 3 (after comments + blank line)
+    }
+
+    #[test]
+    fn malformed_line_is_an_error() {
+        let err = parse_swf("1 2 3", &SwfOptions::default()).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("at least 5 fields"));
+        let err = parse_swf("a b c d e", &SwfOptions::default()).unwrap_err();
+        assert!(err.message.contains("not an integer"));
+    }
+
+    #[test]
+    fn zero_runtime_jobs_become_one_second_compute() {
+        let text = "7 0 0 0 1 -1 -1 1 10 -1 1 1 1 1 1 -1 -1 -1";
+        let jobs = parse_swf(text, &SwfOptions::default()).unwrap();
+        assert_eq!(jobs.len(), 1);
+        jobs[0].exec.validate().unwrap();
+    }
+}

@@ -1,0 +1,74 @@
+//! Open-queue study: jobs arrive over time (Poisson process) instead of
+//! the paper's submit-everything-at-t=0 protocol, and we compare
+//! wait-time and slowdown statistics across schedulers — the fairness
+//! side of I/O-aware scheduling.
+//!
+//! Run: `cargo run --release --example open_arrivals`
+
+use hpc_iosched::cluster::ExecSpec;
+use hpc_iosched::experiments::metrics::{per_class_metrics, scheduling_metrics};
+use hpc_iosched::experiments::{run_experiment, ExperimentConfig, SchedulerKind};
+use hpc_iosched::simkit::rng::SimRng;
+use hpc_iosched::simkit::time::SimDuration;
+use hpc_iosched::simkit::units::{gib, gibps};
+use hpc_iosched::workloads::{poisson_arrivals, WorkloadBuilder};
+
+fn main() {
+    // A mixed stream: write×8 producers, light write×1 jobs, and sleeps,
+    // arriving at ~1 job / 7 s on average — enough to keep the 15 nodes
+    // near saturation so queueing differences become visible.
+    let mut workload = WorkloadBuilder::new()
+        .waves(20, |b| {
+            b.batch(
+                2,
+                "write_x8",
+                ExecSpec::write_xn(8, gib(10.0)),
+                SimDuration::from_secs(3600),
+            )
+            .batch(
+                3,
+                "write_x1",
+                ExecSpec::write_xn(1, gib(10.0)),
+                SimDuration::from_secs(3600),
+            )
+            .batch(
+                3,
+                "sleep",
+                ExecSpec::sleep(SimDuration::from_secs(300)),
+                SimDuration::from_secs(400),
+            )
+        })
+        .build();
+    poisson_arrivals(&mut workload, 1.0 / 7.0, &mut SimRng::from_seed(404));
+
+    println!(
+        "open queue: {} jobs arriving as a Poisson stream (~1 per 7 s), 15 nodes\n",
+        workload.len()
+    );
+
+    for kind in [
+        SchedulerKind::DefaultBackfill,
+        SchedulerKind::Adaptive {
+            limit_bps: gibps(20.0),
+            two_group: true,
+        },
+    ] {
+        let cfg = ExperimentConfig::paper(kind, 17);
+        let res = run_experiment(&cfg, &workload);
+        let m = scheduling_metrics(&res.jobs).expect("jobs ran");
+        println!("── {} ──", res.label);
+        println!(
+            "  makespan {:>7.0} s | mean wait {:>6.0} s | median wait {:>6.0} s | mean bounded slowdown {:.2}",
+            res.makespan_secs, m.mean_wait_secs, m.median_wait_secs, m.mean_bounded_slowdown
+        );
+        for (name, cm) in per_class_metrics(&res) {
+            println!(
+                "    {name:<10} n={:<4} mean wait {:>6.0} s | mean runtime {:>6.0} s",
+                cm.jobs, cm.mean_wait_secs, cm.mean_runtime_secs
+            );
+        }
+        println!();
+    }
+    println!("note how the adaptive scheduler trades a little extra wait for the");
+    println!("heavy writers against much shorter runtimes (less congestion) for everyone.");
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Offline CI gate. Run from the repo root: ./ci.sh
+#
+# The build must succeed with no network and an empty cargo registry
+# cache — the workspace has zero external dependencies by design, and
+# `.cargo/config.toml` pins `net.offline = true` so a reintroduced
+# dependency fails at resolution time rather than fetching silently.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "format check"
+cargo fmt --all --check
+
+step "lints (clippy, warnings are errors)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+step "hermeticity: no external dependencies in any manifest"
+if grep -En 'serde|rand|proptest|criterion|crossbeam' crates/*/Cargo.toml Cargo.toml; then
+    echo "external dependency reference found in a manifest" >&2
+    exit 1
+fi
+
+step "release build (offline)"
+cargo build --workspace --release --offline
+
+step "tests (offline)"
+cargo test -q --workspace --offline
+
+step "determinism gate: two full Workload 1 runs, bit-identical output"
+cargo test --release --offline --test determinism -- --include-ignored
+
+step "bench smoke (emits results/bench/BENCH_*.json)"
+for suite in micro fig3_workload1 fig4_throughput fig5_workload2 fig6_campaign; do
+    cargo bench --offline -p iosched-bench --bench "$suite" -- --smoke
+done
+for suite in micro fig3_workload1 fig4_throughput fig5_workload2 fig6_campaign; do
+    test -s "results/bench/BENCH_${suite}.json" || {
+        echo "missing bench output BENCH_${suite}.json" >&2
+        exit 1
+    }
+done
+
+step "ci passed"

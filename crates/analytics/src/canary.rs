@@ -10,11 +10,10 @@
 
 use iosched_simkit::stats::median;
 use iosched_simkit::time::SimTime;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Detector configuration.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct CanaryConfig {
     /// Number of recent probes the verdict is computed over.
     pub window: usize,
@@ -24,6 +23,11 @@ pub struct CanaryConfig {
     /// `threshold_fraction × baseline` (e.g. 0.5).
     pub threshold_fraction: f64,
 }
+iosched_simkit::impl_json_struct!(CanaryConfig {
+    window,
+    baseline_probes,
+    threshold_fraction
+});
 
 impl Default for CanaryConfig {
     fn default() -> Self {
@@ -36,7 +40,7 @@ impl Default for CanaryConfig {
 }
 
 /// State of the detector.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CanaryDetector {
     cfg: CanaryConfig,
     baseline_samples: Vec<f64>,
@@ -46,6 +50,13 @@ pub struct CanaryDetector {
     /// currently degraded.
     degraded_since: Option<SimTime>,
 }
+iosched_simkit::impl_json_struct!(CanaryDetector {
+    cfg,
+    baseline_samples,
+    baseline,
+    recent,
+    degraded_since,
+});
 
 impl CanaryDetector {
     /// New detector; the first [`CanaryConfig::baseline_probes`] probes

@@ -1,11 +1,10 @@
 //! Decaying-average estimator of per-job-type resource requirements.
 
 use iosched_simkit::time::SimDuration;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Estimated resource requirements of a job (the paper's `r_j`, `d_j`).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct JobEstimate {
     /// Estimated average Lustre throughput over the job's runtime,
     /// bytes/s.
@@ -13,13 +12,22 @@ pub struct JobEstimate {
     /// Estimated runtime.
     pub runtime: SimDuration,
 }
+iosched_simkit::impl_json_struct!(JobEstimate {
+    throughput_bps,
+    runtime
+});
 
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 struct State {
     throughput_bps: f64,
     runtime_secs: f64,
     observations: u64,
 }
+iosched_simkit::impl_json_struct!(State {
+    throughput_bps,
+    runtime_secs,
+    observations
+});
 
 /// Exponentially-decaying weighted average of historical usage, keyed by
 /// job name ("similar jobs"). A new observation contributes weight `alpha`
@@ -27,11 +35,12 @@ struct State {
 /// which is what lets the estimates track congestion-dependent throughput
 /// (paper §VI: the estimate falls as the file system congests, admitting
 /// more jobs, until the loop stabilises).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct JobEstimator {
     alpha: f64,
     table: BTreeMap<String, State>,
 }
+iosched_simkit::impl_json_struct!(JobEstimator { alpha, table });
 
 impl JobEstimator {
     /// `alpha ∈ (0, 1]` is the weight of the newest observation.
@@ -60,8 +69,7 @@ impl JobEstimator {
             Some(s) => {
                 s.throughput_bps =
                     (1.0 - self.alpha) * s.throughput_bps + self.alpha * throughput_bps;
-                s.runtime_secs =
-                    (1.0 - self.alpha) * s.runtime_secs + self.alpha * runtime_secs;
+                s.runtime_secs = (1.0 - self.alpha) * s.runtime_secs + self.alpha * runtime_secs;
                 s.observations += 1;
             }
             None => {

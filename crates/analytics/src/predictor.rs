@@ -14,7 +14,6 @@
 use crate::estimator::{JobEstimate, JobEstimator};
 use iosched_simkit::stats::quantile;
 use iosched_simkit::time::SimDuration;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 
 /// A per-job-type resource predictor.
@@ -43,12 +42,13 @@ impl Predictor for JobEstimator {
 
 /// Predicts the `quantile`-th percentile of the last `window`
 /// observations per job name.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct WindowedQuantilePredictor {
     window: usize,
     q: f64,
     history: BTreeMap<String, VecDeque<(f64, f64)>>, // (throughput, runtime_s)
 }
+iosched_simkit::impl_json_struct!(WindowedQuantilePredictor { window, q, history });
 
 impl WindowedQuantilePredictor {
     /// `window ≥ 1` observations kept per name; `q ∈ [0, 1]`.
@@ -88,7 +88,7 @@ impl Predictor for WindowedQuantilePredictor {
 }
 
 /// Which predictor the analytics service uses.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum PredictorKind {
     /// The paper prototype's decaying average; `alpha` is the weight of
     /// the newest observation.
@@ -96,6 +96,10 @@ pub enum PredictorKind {
     /// Percentile over a sliding window of recent observations.
     WindowedQuantile { window: usize, quantile: f64 },
 }
+iosched_simkit::impl_json_enum!(PredictorKind {
+    DecayingAverage { alpha },
+    WindowedQuantile { window, quantile },
+});
 
 impl Default for PredictorKind {
     fn default() -> Self {

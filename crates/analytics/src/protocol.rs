@@ -9,10 +9,9 @@
 use crate::service::AnalyticsService;
 use iosched_ldms::LdmsDaemon;
 use iosched_simkit::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// A request the scheduler sends at the beginning of a scheduling round.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     /// Predicted requirements for one job.
     JobEstimate {
@@ -29,24 +28,32 @@ pub enum Request {
         ended: SimTime,
     },
 }
+iosched_simkit::impl_json_enum!(Request {
+    JobEstimate { name, requested_limit },
+    CurrentLoad { now },
+    JobCompleted { job_id, name, started, ended },
+});
 
 /// Response to a [`Request`].
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Response {
     JobEstimate {
         throughput_bps: f64,
         runtime: SimDuration,
     },
-    CurrentLoad { total_bps: f64 },
+    CurrentLoad {
+        total_bps: f64,
+    },
     Ack,
 }
+iosched_simkit::impl_json_enum!(Response {
+    JobEstimate { throughput_bps, runtime },
+    CurrentLoad { total_bps },
+    Ack,
+});
 
 /// Dispatch a request against the service (the "RPC server" loop body).
-pub fn handle(
-    svc: &mut AnalyticsService,
-    daemon: &LdmsDaemon,
-    request: Request,
-) -> Response {
+pub fn handle(svc: &mut AnalyticsService, daemon: &LdmsDaemon, request: Request) -> Response {
     match request {
         Request::JobEstimate {
             name,
@@ -76,6 +83,44 @@ pub fn handle(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use iosched_simkit::{json, ToJson};
+
+    #[test]
+    fn messages_round_trip_through_json() {
+        let requests = vec![
+            Request::JobEstimate {
+                name: "w8".into(),
+                requested_limit: SimDuration::from_secs(100),
+            },
+            Request::CurrentLoad {
+                now: SimTime::from_secs(4),
+            },
+            Request::JobCompleted {
+                job_id: 3,
+                name: "w8".into(),
+                started: SimTime::ZERO,
+                ended: SimTime::from_secs(5),
+            },
+        ];
+        for req in requests {
+            let wire = req.to_json().to_json_string();
+            let back: Request = json::from_str(&wire).unwrap();
+            assert_eq!(back, req);
+        }
+        let responses = vec![
+            Response::JobEstimate {
+                throughput_bps: 123.5,
+                runtime: SimDuration::from_secs(60),
+            },
+            Response::CurrentLoad { total_bps: 0.0 },
+            Response::Ack,
+        ];
+        for resp in responses {
+            let wire = resp.to_json().to_json_string();
+            let back: Response = json::from_str(&wire).unwrap();
+            assert_eq!(back, resp);
+        }
+    }
 
     #[test]
     fn rpc_round_trip() {

@@ -130,13 +130,7 @@ mod tests {
             daemon.sample(SimTime::from_secs(s), 200.0, &[(5, 200.0)], 1);
         }
         let mut svc = AnalyticsService::untrained();
-        svc.on_job_complete(
-            &daemon,
-            5,
-            "w8",
-            SimTime::ZERO,
-            SimTime::from_secs(10),
-        );
+        svc.on_job_complete(&daemon, 5, "w8", SimTime::ZERO, SimTime::from_secs(10));
         let est = svc.job_estimate("w8", SimDuration::from_secs(999));
         assert!((est.throughput_bps - 200.0).abs() < 1e-6, "{est:?}");
         assert_eq!(est.runtime, SimDuration::from_secs(10));

@@ -4,16 +4,16 @@
 //! makespan-improvement rows the figure reports. The full-size experiment
 //! is `cargo run --release -p iosched-experiments --bin fig3`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use iosched_cluster::ExecSpec;
 use iosched_experiments::driver::{run_experiment, ExperimentConfig, SchedulerKind};
+use iosched_simkit::bench::BenchSuite;
 use iosched_simkit::time::SimDuration;
 use iosched_simkit::units::{gib, gibps};
 use iosched_workloads::{JobSubmission, WorkloadBuilder};
 use std::hint::black_box;
 
 /// One scaled wave with the paper's full-size jobs (10 write×8 of 80 GiB
-/// + 20 sleep(300 s)) — small enough to bench, large enough that the
+/// plus 20 sleep(300 s)) — small enough to bench, large enough that the
 /// congestion dynamics and scheduler differences appear.
 fn scaled_wave() -> Vec<JobSubmission> {
     WorkloadBuilder::new()
@@ -32,10 +32,9 @@ fn scaled_wave() -> Vec<JobSubmission> {
         .build()
 }
 
-fn bench_fig3(c: &mut Criterion) {
+fn main() {
+    let mut suite = BenchSuite::from_args("fig3_workload1");
     let workload = scaled_wave();
-    let mut group = c.benchmark_group("fig3_workload1");
-    group.sample_size(10);
 
     let panels: Vec<(&str, SchedulerKind, bool)> = vec![
         ("a_default", SchedulerKind::DefaultBackfill, true),
@@ -71,35 +70,34 @@ fn bench_fig3(c: &mut Criterion) {
         ),
     ];
 
-    // Print the figure rows once (the series the paper's panel shows).
-    let mut base = None;
-    for (tag, kind, pretrained) in &panels {
-        let mut cfg = ExperimentConfig::paper(*kind, 42);
-        cfg.pretrained = *pretrained;
-        let res = run_experiment(&cfg, &workload);
-        match base {
-            None => {
-                base = Some(res.makespan_secs);
-                println!("fig3 {tag}: makespan {:.0} s (baseline)", res.makespan_secs);
+    // Print the figure rows once (the series the paper's panel shows);
+    // skipped under --smoke, where only emission is being checked.
+    if !suite.is_smoke() {
+        let mut base = None;
+        for (tag, kind, pretrained) in &panels {
+            let mut cfg = ExperimentConfig::paper(*kind, 42);
+            cfg.pretrained = *pretrained;
+            let res = run_experiment(&cfg, &workload);
+            match base {
+                None => {
+                    base = Some(res.makespan_secs);
+                    println!("fig3 {tag}: makespan {:.0} s (baseline)", res.makespan_secs);
+                }
+                Some(b) => println!(
+                    "fig3 {tag}: makespan {:.0} s ({:+.1}% vs default)",
+                    res.makespan_secs,
+                    100.0 * (b - res.makespan_secs) / b
+                ),
             }
-            Some(b) => println!(
-                "fig3 {tag}: makespan {:.0} s ({:+.1}% vs default)",
-                res.makespan_secs,
-                100.0 * (b - res.makespan_secs) / b
-            ),
         }
     }
 
     for (tag, kind, pretrained) in panels {
         let mut cfg = ExperimentConfig::paper(kind, 42);
         cfg.pretrained = pretrained;
-        let workload = workload.clone();
-        group.bench_function(tag, |b| {
-            b.iter(|| black_box(run_experiment(&cfg, &workload).makespan_secs))
+        suite.bench(tag, || {
+            black_box(run_experiment(&cfg, &workload).makespan_secs);
         });
     }
-    group.finish();
+    suite.finish();
 }
-
-criterion_group!(benches, bench_fig3);
-criterion_main!(benches);

@@ -2,37 +2,35 @@
 //! Prints the box-plot rows (short-term protocol) and benchmarks the
 //! probe at representative concurrency levels.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use iosched_lustre::probe::{fig4_sweep, steady_state_samples, ProbeConfig};
 use iosched_lustre::LustreConfig;
+use iosched_simkit::bench::BenchSuite;
 use iosched_simkit::units::to_gibps;
 use std::hint::black_box;
 
-fn bench_fig4(c: &mut Criterion) {
+fn main() {
+    let mut suite = BenchSuite::from_args("fig4_throughput");
     let cfg = LustreConfig::stria();
     let probe = ProbeConfig::short_term();
 
-    // Print the figure rows once.
-    for row in fig4_sweep(&cfg, &probe, 15, 42) {
-        println!(
-            "fig4 jobs={:2} median {:5.2} GiB/s (q1 {:5.2}, q3 {:5.2}, max {:5.2})",
-            row.concurrent_jobs,
-            to_gibps(row.stats.median),
-            to_gibps(row.stats.q1),
-            to_gibps(row.stats.q3),
-            to_gibps(row.stats.max),
-        );
+    // Print the figure rows once; skipped under --smoke.
+    if !suite.is_smoke() {
+        for row in fig4_sweep(&cfg, &probe, 15, 42) {
+            println!(
+                "fig4 jobs={:2} median {:5.2} GiB/s (q1 {:5.2}, q3 {:5.2}, max {:5.2})",
+                row.concurrent_jobs,
+                to_gibps(row.stats.median),
+                to_gibps(row.stats.q1),
+                to_gibps(row.stats.q3),
+                to_gibps(row.stats.max),
+            );
+        }
     }
 
-    let mut group = c.benchmark_group("fig4_throughput_probe");
-    group.sample_size(10);
     for k in [1usize, 4, 8, 15] {
-        group.bench_function(format!("probe_{k}_jobs"), |b| {
-            b.iter(|| black_box(steady_state_samples(&cfg, &probe, k, 42).len()))
+        suite.bench(&format!("probe_{k}_jobs"), || {
+            black_box(steady_state_samples(&cfg, &probe, k, 42).len());
         });
     }
-    group.finish();
+    suite.finish();
 }
-
-criterion_group!(benches, bench_fig4);
-criterion_main!(benches);

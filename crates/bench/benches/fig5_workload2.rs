@@ -2,9 +2,9 @@
 //! six-job-type mix under each scheduler configuration. Prints the
 //! makespan rows; the full-size experiment is the `fig5` binary.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use iosched_cluster::ExecSpec;
 use iosched_experiments::driver::{run_experiment, ExperimentConfig, SchedulerKind};
+use iosched_simkit::bench::BenchSuite;
 use iosched_simkit::time::SimDuration;
 use iosched_simkit::units::{gib, gibps};
 use iosched_workloads::{JobSubmission, WorkloadBuilder};
@@ -30,10 +30,9 @@ fn scaled_wave() -> Vec<JobSubmission> {
         .build()
 }
 
-fn bench_fig5(c: &mut Criterion) {
+fn main() {
+    let mut suite = BenchSuite::from_args("fig5_workload2");
     let workload = scaled_wave();
-    let mut group = c.benchmark_group("fig5_workload2");
-    group.sample_size(10);
 
     let panels: Vec<(&str, SchedulerKind)> = vec![
         ("a_default", SchedulerKind::DefaultBackfill),
@@ -65,32 +64,31 @@ fn bench_fig5(c: &mut Criterion) {
         ),
     ];
 
-    let mut base = None;
-    for (tag, kind) in &panels {
-        let cfg = ExperimentConfig::paper(*kind, 42);
-        let res = run_experiment(&cfg, &workload);
-        match base {
-            None => {
-                base = Some(res.makespan_secs);
-                println!("fig5 {tag}: makespan {:.0} s (baseline)", res.makespan_secs);
+    // Print the figure rows once; skipped under --smoke.
+    if !suite.is_smoke() {
+        let mut base = None;
+        for (tag, kind) in &panels {
+            let cfg = ExperimentConfig::paper(*kind, 42);
+            let res = run_experiment(&cfg, &workload);
+            match base {
+                None => {
+                    base = Some(res.makespan_secs);
+                    println!("fig5 {tag}: makespan {:.0} s (baseline)", res.makespan_secs);
+                }
+                Some(b) => println!(
+                    "fig5 {tag}: makespan {:.0} s ({:+.1}% vs default)",
+                    res.makespan_secs,
+                    100.0 * (b - res.makespan_secs) / b
+                ),
             }
-            Some(b) => println!(
-                "fig5 {tag}: makespan {:.0} s ({:+.1}% vs default)",
-                res.makespan_secs,
-                100.0 * (b - res.makespan_secs) / b
-            ),
         }
     }
 
     for (tag, kind) in panels {
         let cfg = ExperimentConfig::paper(kind, 42);
-        let workload = workload.clone();
-        group.bench_function(tag, |b| {
-            b.iter(|| black_box(run_experiment(&cfg, &workload).makespan_secs))
+        suite.bench(tag, || {
+            black_box(run_experiment(&cfg, &workload).makespan_secs);
         });
     }
-    group.finish();
+    suite.finish();
 }
-
-criterion_group!(benches, bench_fig5);
-criterion_main!(benches);

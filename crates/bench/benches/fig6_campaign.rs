@@ -2,10 +2,10 @@
 //! Workload-2 wave, printing median improvements (the figure's headline
 //! rows) and benchmarking one campaign run per scheduler.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use iosched_cluster::ExecSpec;
 use iosched_experiments::campaign::run_campaign;
 use iosched_experiments::driver::{ExperimentConfig, SchedulerKind};
+use iosched_simkit::bench::BenchSuite;
 use iosched_simkit::time::SimDuration;
 use iosched_simkit::units::{gib, gibps};
 use iosched_workloads::{JobSubmission, WorkloadBuilder};
@@ -28,7 +28,8 @@ fn scaled_wave() -> Vec<JobSubmission> {
         .build()
 }
 
-fn bench_fig6(c: &mut Criterion) {
+fn main() {
+    let mut suite = BenchSuite::from_args("fig6_campaign");
     let workload = scaled_wave();
     let seeds: Vec<u64> = (0..3).map(|i| 1000 + i * 17).collect();
 
@@ -43,40 +44,32 @@ fn bench_fig6(c: &mut Criterion) {
         },
     ];
 
-    // Print the medians once (the figure's summary rows).
-    let mut base = None;
-    for kind in &configs {
-        let camp = run_campaign(&ExperimentConfig::paper(*kind, 0), &workload, &seeds);
-        let med = camp.median_makespan_secs();
-        match base {
-            None => {
-                base = Some(med);
-                println!("fig6 {}: median {med:.0} s (baseline)", camp.label);
+    // Print the medians once (the figure's summary rows); skipped under
+    // --smoke.
+    if !suite.is_smoke() {
+        let mut base = None;
+        for kind in &configs {
+            let camp = run_campaign(&ExperimentConfig::paper(*kind, 0), &workload, &seeds);
+            let med = camp.median_makespan_secs();
+            match base {
+                None => {
+                    base = Some(med);
+                    println!("fig6 {}: median {med:.0} s (baseline)", camp.label);
+                }
+                Some(b) => println!(
+                    "fig6 {}: median {med:.0} s ({:+.1}% vs default)",
+                    camp.label,
+                    100.0 * (b - med) / b
+                ),
             }
-            Some(b) => println!(
-                "fig6 {}: median {med:.0} s ({:+.1}% vs default)",
-                camp.label,
-                100.0 * (b - med) / b
-            ),
         }
     }
 
-    let mut group = c.benchmark_group("fig6_campaign");
-    group.sample_size(10);
     for kind in configs {
         let cfg = ExperimentConfig::paper(kind, 0);
-        let workload = workload.clone();
-        let seeds = seeds.clone();
-        group.bench_function(kind.label(), |b| {
-            b.iter(|| {
-                black_box(
-                    run_campaign(&cfg, &workload, &seeds).median_makespan_secs(),
-                )
-            })
+        suite.bench(&kind.label(), || {
+            black_box(run_campaign(&cfg, &workload, &seeds).median_makespan_secs());
         });
     }
-    group.finish();
+    suite.finish();
 }
-
-criterion_group!(benches, bench_fig6);
-criterion_main!(benches);

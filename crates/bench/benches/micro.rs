@@ -2,10 +2,10 @@
 //! path: reservation profiles, the max-min fair solver, a full backfill
 //! pass, the estimator, and the event queue.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use iosched_analytics::JobEstimator;
 use iosched_core::{AdaptiveConfig, AdaptivePolicy, EstimateBook, IoAwareConfig, IoAwarePolicy};
 use iosched_lustre::solver::{max_min_fair, Constraint};
+use iosched_simkit::bench::BenchSuite;
 use iosched_simkit::ids::JobId;
 use iosched_simkit::queue::EventQueue;
 use iosched_simkit::time::{SimDuration, SimTime};
@@ -14,30 +14,53 @@ use iosched_slurm::policy::NodePolicy;
 use iosched_slurm::{backfill_pass, BackfillConfig, ResourceProfile, SchedJob};
 use std::hint::black_box;
 
-fn bench_profile(c: &mut Criterion) {
-    let mut group = c.benchmark_group("resource_profile");
-    group.bench_function("reserve_1000", |b| {
-        b.iter(|| {
-            let mut p = ResourceProfile::new(100.0);
-            for i in 0..1000u64 {
-                p.reserve(1.0, SimTime::from_secs(i), SimTime::from_secs(i + 50));
-            }
-            black_box(p.usage_at(SimTime::from_secs(500)))
+fn make_queue(n: usize) -> Vec<SchedJob> {
+    (0..n as u64)
+        .map(|i| {
+            SchedJob::new(
+                JobId(i),
+                format!("job{}", i % 6),
+                1,
+                SimDuration::from_secs(600),
+                SimTime::ZERO,
+            )
         })
+        .collect()
+}
+
+fn estimate_book(jobs: &[SchedJob]) -> EstimateBook {
+    let mut book = EstimateBook::new();
+    for j in jobs {
+        book.insert(
+            j.id,
+            iosched_analytics::JobEstimate {
+                throughput_bps: gibps(0.5),
+                runtime: SimDuration::from_secs(60),
+            },
+        );
+    }
+    book
+}
+
+fn main() {
+    let mut suite = BenchSuite::from_args("micro");
+
+    suite.bench("resource_profile/reserve_1000", || {
+        let mut p = ResourceProfile::new(100.0);
+        for i in 0..1000u64 {
+            p.reserve(1.0, SimTime::from_secs(i), SimTime::from_secs(i + 50));
+        }
+        black_box(p.usage_at(SimTime::from_secs(500)));
     });
+
     let mut p = ResourceProfile::new(100.0);
     for i in 0..1000u64 {
         p.reserve(1.0, SimTime::from_secs(i), SimTime::from_secs(i + 50));
     }
-    group.bench_function("earliest_fit_among_1000", |b| {
-        b.iter(|| {
-            black_box(p.earliest_fit(SimTime::ZERO, SimDuration::from_secs(100), 60.0))
-        })
+    suite.bench("resource_profile/earliest_fit_among_1000", || {
+        black_box(p.earliest_fit(SimTime::ZERO, SimDuration::from_secs(100), 60.0));
     });
-    group.finish();
-}
 
-fn bench_solver(c: &mut Criterion) {
     // 120 streams over 56 OSTs + node/fabric constraints — the workload's
     // worst-case rate solve.
     let n = 120;
@@ -60,133 +83,73 @@ fn bench_solver(c: &mut Criterion) {
         capacity: 22.0,
         members: (0..n).collect(),
     });
-    c.bench_function("max_min_fair_120_streams", |b| {
-        b.iter(|| black_box(max_min_fair(n, &constraints)))
+    suite.bench("max_min_fair_120_streams", || {
+        black_box(max_min_fair(n, &constraints));
     });
-}
 
-fn make_queue(n: usize) -> Vec<SchedJob> {
-    (0..n as u64)
-        .map(|i| {
-            SchedJob::new(
-                JobId(i),
-                format!("job{}", i % 6),
-                1,
-                SimDuration::from_secs(600),
-                SimTime::ZERO,
-            )
-        })
-        .collect()
-}
-
-fn bench_backfill(c: &mut Criterion) {
     let jobs = make_queue(200);
     let refs: Vec<&SchedJob> = jobs.iter().collect();
-    let mut group = c.benchmark_group("backfill_pass_200_jobs");
-    group.bench_function("node_policy", |b| {
-        b.iter(|| {
-            let mut policy = NodePolicy::default();
-            black_box(backfill_pass(
-                &mut policy,
-                &[],
-                &refs,
-                SimTime::ZERO,
-                15,
-                &BackfillConfig::default(),
-            ))
-        })
+    suite.bench("backfill_pass_200_jobs/node_policy", || {
+        let mut policy = NodePolicy::default();
+        black_box(backfill_pass(
+            &mut policy,
+            &[],
+            &refs,
+            SimTime::ZERO,
+            15,
+            &BackfillConfig::default(),
+        ));
     });
-    group.bench_function("io_aware", |b| {
-        b.iter(|| {
-            let mut policy = IoAwarePolicy::new(IoAwareConfig {
-                limit_bps: gibps(20.0),
-            });
-            let mut book = EstimateBook::new();
-            for j in &jobs {
-                book.insert(
-                    j.id,
-                    iosched_analytics::JobEstimate {
-                        throughput_bps: gibps(0.5),
-                        runtime: SimDuration::from_secs(60),
-                    },
-                );
-            }
-            policy.begin_round(book);
-            black_box(backfill_pass(
-                &mut policy,
-                &[],
-                &refs,
-                SimTime::ZERO,
-                15,
-                &BackfillConfig::default(),
-            ))
-        })
+    suite.bench("backfill_pass_200_jobs/io_aware", || {
+        let mut policy = IoAwarePolicy::new(IoAwareConfig {
+            limit_bps: gibps(20.0),
+        });
+        policy.begin_round(estimate_book(&jobs));
+        black_box(backfill_pass(
+            &mut policy,
+            &[],
+            &refs,
+            SimTime::ZERO,
+            15,
+            &BackfillConfig::default(),
+        ));
     });
-    group.bench_function("adaptive_two_group", |b| {
-        b.iter(|| {
-            let mut policy = AdaptivePolicy::new(AdaptiveConfig::paper(gibps(20.0)));
-            let mut book = EstimateBook::new();
-            for j in &jobs {
-                book.insert(
-                    j.id,
-                    iosched_analytics::JobEstimate {
-                        throughput_bps: gibps(0.5),
-                        runtime: SimDuration::from_secs(60),
-                    },
-                );
-            }
-            policy.begin_round(book);
-            black_box(backfill_pass(
-                &mut policy,
-                &[],
-                &refs,
-                SimTime::ZERO,
-                15,
-                &BackfillConfig::default(),
-            ))
-        })
+    suite.bench("backfill_pass_200_jobs/adaptive_two_group", || {
+        let mut policy = AdaptivePolicy::new(AdaptiveConfig::paper(gibps(20.0)));
+        policy.begin_round(estimate_book(&jobs));
+        black_box(backfill_pass(
+            &mut policy,
+            &[],
+            &refs,
+            SimTime::ZERO,
+            15,
+            &BackfillConfig::default(),
+        ));
     });
-    group.finish();
-}
 
-fn bench_estimator(c: &mut Criterion) {
-    c.bench_function("estimator_observe_1000", |b| {
-        b.iter(|| {
-            let mut e = JobEstimator::with_default_decay();
-            for i in 0..1000u64 {
-                e.observe(
-                    &format!("job{}", i % 6),
-                    (i % 100) as f64,
-                    SimDuration::from_secs(60),
-                );
-            }
-            black_box(e.estimate("job0"))
-        })
+    suite.bench("estimator_observe_1000", || {
+        let mut e = JobEstimator::with_default_decay();
+        for i in 0..1000u64 {
+            e.observe(
+                &format!("job{}", i % 6),
+                (i % 100) as f64,
+                SimDuration::from_secs(60),
+            );
+        }
+        black_box(e.estimate("job0"));
     });
-}
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..10_000u64 {
-                q.push(SimTime::from_millis(i * 7919 % 100_000), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, v)) = q.pop() {
-                sum = sum.wrapping_add(v);
-            }
-            black_box(sum)
-        })
+    suite.bench("event_queue_push_pop_10k", || {
+        let mut q = EventQueue::new();
+        for i in 0..10_000u64 {
+            q.push(SimTime::from_millis(i * 7919 % 100_000), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, v)) = q.pop() {
+            sum = sum.wrapping_add(v);
+        }
+        black_box(sum);
     });
-}
 
-criterion_group!(
-    benches,
-    bench_profile,
-    bench_solver,
-    bench_backfill,
-    bench_estimator,
-    bench_event_queue
-);
-criterion_main!(benches);
+    suite.finish();
+}

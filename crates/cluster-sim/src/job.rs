@@ -1,12 +1,11 @@
 //! Executable job descriptions.
 
 use iosched_simkit::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 pub use iosched_simkit::ids::JobId;
 
 /// One phase of a job's execution.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Phase {
     /// Idle occupation of the allocated nodes (the paper's "sleep" jobs).
     Sleep(SimDuration),
@@ -26,6 +25,12 @@ pub enum Phase {
         bytes_per_thread: f64,
     },
 }
+iosched_simkit::impl_json_enum!(Phase {
+    Sleep(duration),
+    Compute(duration),
+    Write { threads_per_node, bytes_per_thread },
+    Read { threads_per_node, bytes_per_thread },
+});
 
 impl Phase {
     /// Total bytes this phase writes per allocated node.
@@ -53,13 +58,14 @@ impl Phase {
 
 /// What a job does once started: how many nodes it needs and the phase
 /// sequence executed on them.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ExecSpec {
     /// Number of nodes the job occupies (the paper's `n_j`).
     pub nodes: usize,
     /// Phases executed back to back.
     pub phases: Vec<Phase>,
 }
+iosched_simkit::impl_json_struct!(ExecSpec { nodes, phases });
 
 impl ExecSpec {
     /// A pure sleep job of the given duration on one node.
@@ -95,12 +101,7 @@ impl ExecSpec {
 
     /// Total bytes the job writes across all nodes and phases.
     pub fn total_write_bytes(&self) -> f64 {
-        self.nodes as f64
-            * self
-                .phases
-                .iter()
-                .map(|p| p.bytes_per_node())
-                .sum::<f64>()
+        self.nodes as f64 * self.phases.iter().map(|p| p.bytes_per_node()).sum::<f64>()
     }
 
     /// Total bytes the job reads across all nodes and phases.

@@ -162,8 +162,7 @@ impl ClusterSim {
                 // Burst buffer: each thread is released once its
                 // remaining volume fits in its share of the node's
                 // buffer; the stream itself keeps draining to the OSTs.
-                let release =
-                    self.burst_buffer_per_node_bytes / threads_per_node as f64;
+                let release = self.burst_buffer_per_node_bytes / threads_per_node as f64;
                 let mut outstanding = 0;
                 for &node in nodes {
                     // The fs clock may sit a hair past `t` due to
@@ -293,10 +292,7 @@ impl ClusterSim {
             let next = rj.pending.remove(0);
             let nodes = rj.nodes.clone();
             let activity = self.begin_phase(at, job, &nodes, next);
-            self.running
-                .get_mut(&job)
-                .expect("job is running")
-                .activity = activity;
+            self.running.get_mut(&job).expect("job is running").activity = activity;
         }
     }
 
@@ -344,7 +340,13 @@ mod tests {
         .unwrap();
         assert_eq!(c.busy_nodes(), 1);
         let done = run_to_idle(&mut c);
-        assert_eq!(done, vec![JobCompletion { job: JobId(1), at: SimTime::from_secs(600) }]);
+        assert_eq!(
+            done,
+            vec![JobCompletion {
+                job: JobId(1),
+                at: SimTime::from_secs(600)
+            }]
+        );
         assert_eq!(c.busy_nodes(), 0);
     }
 
@@ -510,8 +512,12 @@ mod tests {
                 .unwrap();
             c.advance_to(SimTime::from_millis(1));
             c.set_burst_buffer(0.0); // job 2 is unbuffered
-            c.start_job(SimTime::from_millis(1), JobId(2), &ExecSpec::write_xn(8, gib(10.0)))
-                .unwrap();
+            c.start_job(
+                SimTime::from_millis(1),
+                JobId(2),
+                &ExecSpec::write_xn(8, gib(10.0)),
+            )
+            .unwrap();
             let mut end = 0.0;
             while let Some(t) = c.next_event_time() {
                 for d in c.advance_to(t) {
@@ -606,8 +612,12 @@ mod tests {
         c.start_job(SimTime::ZERO, JobId(1), &ExecSpec::write_xn(8, gib(10.0)))
             .unwrap();
         c.advance_to(SimTime::from_secs(5));
-        c.start_job(SimTime::from_secs(5), JobId(2), &ExecSpec::write_xn(8, gib(10.0)))
-            .unwrap();
+        c.start_job(
+            SimTime::from_secs(5),
+            JobId(2),
+            &ExecSpec::write_xn(8, gib(10.0)),
+        )
+        .unwrap();
         let done = run_to_idle(&mut c);
         assert_eq!(done.len(), 2);
         // Job 1 started earlier and must finish no later than job 2 with

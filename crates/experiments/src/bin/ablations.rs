@@ -115,7 +115,10 @@ fn main() {
     println!("── ablation 4: does the adaptive win need congestion collapse? ──");
     for (tag, fs) in [
         ("fatigue on (calibrated)", LustreConfig::stria()),
-        ("fatigue off (ideal fs)", LustreConfig::stria().without_fatigue()),
+        (
+            "fatigue off (ideal fs)",
+            LustreConfig::stria().without_fatigue(),
+        ),
     ] {
         let mut d = ExperimentConfig::paper(SchedulerKind::DefaultBackfill, seed);
         d.fs = fs.clone();

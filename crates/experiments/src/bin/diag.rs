@@ -18,16 +18,29 @@ fn main() {
     };
     let kind = match sched {
         "default" => SchedulerKind::DefaultBackfill,
-        "io20" => SchedulerKind::IoAware { limit_bps: gibps(20.0) },
-        "io15" => SchedulerKind::IoAware { limit_bps: gibps(15.0) },
-        "ad20" => SchedulerKind::Adaptive { limit_bps: gibps(20.0), two_group: true },
-        "ad15" => SchedulerKind::Adaptive { limit_bps: gibps(15.0), two_group: true },
+        "io20" => SchedulerKind::IoAware {
+            limit_bps: gibps(20.0),
+        },
+        "io15" => SchedulerKind::IoAware {
+            limit_bps: gibps(15.0),
+        },
+        "ad20" => SchedulerKind::Adaptive {
+            limit_bps: gibps(20.0),
+            two_group: true,
+        },
+        "ad15" => SchedulerKind::Adaptive {
+            limit_bps: gibps(15.0),
+            two_group: true,
+        },
         other => panic!("unknown scheduler {other}"),
     };
     let cfg = ExperimentConfig::paper(kind, seed);
     let res = run_experiment(&cfg, &workload);
     println!("makespan {:.0} s", res.makespan_secs);
-    println!("{:>8} {:>6} {:>8} {:>9} {:>8}", "t", "nodes", "streams", "GiB/s", "fatigue");
+    println!(
+        "{:>8} {:>6} {:>8} {:>9} {:>8}",
+        "t", "nodes", "streams", "GiB/s", "fatigue"
+    );
     let step = (res.makespan_secs / 40.0).max(1.0) as u64;
     let mut t = 0u64;
     while (t as f64) < res.makespan_secs {

@@ -65,8 +65,11 @@ fn main() {
         let mut cfg = ExperimentConfig::paper(kind, seed);
         cfg.pretrained = pretrained;
         let res = run_experiment(&cfg, &workload);
-        write_output(&out_dir.join(format!("{tag}_traces.csv")), &traces_csv(&res, 10))
-            .expect("write traces");
+        write_output(
+            &out_dir.join(format!("{tag}_traces.csv")),
+            &traces_csv(&res, 10),
+        )
+        .expect("write traces");
         write_output(&out_dir.join(format!("{tag}_jobs.csv")), &jobs_csv(&res))
             .expect("write jobs");
 

@@ -16,7 +16,10 @@ use std::path::PathBuf;
 
 fn print_rows(title: &str, rows: &[iosched_lustre::probe::ProbeRow]) {
     println!("── {title} ──");
-    println!("{:>5} {:>7} {:>7} {:>7} {:>7} {:>7}", "jobs", "min", "q1", "med", "q3", "max");
+    println!(
+        "{:>5} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "jobs", "min", "q1", "med", "q3", "max"
+    );
     for r in rows {
         println!(
             "{:5} {:7.2} {:7.2} {:7.2} {:7.2} {:7.2}",

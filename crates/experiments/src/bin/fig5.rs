@@ -60,8 +60,11 @@ fn main() {
     for (tag, kind) in panels {
         let cfg = ExperimentConfig::paper(kind, seed);
         let res = run_experiment(&cfg, &workload);
-        write_output(&out_dir.join(format!("{tag}_traces.csv")), &traces_csv(&res, 10))
-            .expect("write traces");
+        write_output(
+            &out_dir.join(format!("{tag}_traces.csv")),
+            &traces_csv(&res, 10),
+        )
+        .expect("write traces");
         write_output(&out_dir.join(format!("{tag}_jobs.csv")), &jobs_csv(&res))
             .expect("write jobs");
 
@@ -70,8 +73,7 @@ fn main() {
         // Idle-node indicator over the second half of the run (the
         // phenomenon the paper highlights for panel (c)).
         let buckets = node_buckets(&res, 20);
-        let second_half_nodes: f64 =
-            buckets[10..].iter().sum::<f64>() / 10.0;
+        let second_half_nodes: f64 = buckets[10..].iter().sum::<f64>() / 10.0;
         println!("  mean busy nodes (2nd half): {second_half_nodes:.1} / 15");
         match baseline {
             None => {

@@ -63,7 +63,12 @@ fn main() {
             .iter()
             .map(|m| format!("{m:.0}"))
             .collect();
-        println!("{:<16} median {:>7.0} s   swarm: {}", camp.label, med, points.join(" "));
+        println!(
+            "{:<16} median {:>7.0} s   swarm: {}",
+            camp.label,
+            med,
+            points.join(" ")
+        );
         medians.push((camp.label.clone(), med));
     }
 

@@ -8,7 +8,7 @@
 
 use iosched_experiments::config::parse_run_spec;
 use iosched_experiments::driver::run_experiment;
-use iosched_experiments::figures::{jobs_csv, print_panel, traces_csv, write_output};
+use iosched_experiments::figures::{jobs_csv, print_panel, summary_json, traces_csv, write_output};
 use iosched_experiments::metrics::{per_class_metrics, scheduling_metrics};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -59,6 +59,11 @@ fn main() -> ExitCode {
     let dir = PathBuf::from(&spec.output_dir);
     write_output(&dir.join("traces.csv"), &traces_csv(&res, 10)).expect("write traces");
     write_output(&dir.join("jobs.csv"), &jobs_csv(&res)).expect("write jobs");
-    println!("\nCSV data in {}", dir.display());
+    write_output(
+        &dir.join("summary.json"),
+        &summary_json(&res).to_json_pretty(),
+    )
+    .expect("write summary");
+    println!("\nCSV data and summary.json in {}", dir.display());
     ExitCode::SUCCESS
 }

@@ -40,20 +40,64 @@ fn main() {
     eprintln!("running Workload 1 panels...");
     let w1_default = run_w1(SchedulerKind::DefaultBackfill, true);
     let imp = |base: f64, x: f64| 100.0 * (base - x) / base;
-    let w1_io20 = imp(w1_default, run_w1(SchedulerKind::IoAware { limit_bps: gibps(20.0) }, true));
-    let w1_io15 = imp(w1_default, run_w1(SchedulerKind::IoAware { limit_bps: gibps(15.0) }, true));
+    let w1_io20 = imp(
+        w1_default,
+        run_w1(
+            SchedulerKind::IoAware {
+                limit_bps: gibps(20.0),
+            },
+            true,
+        ),
+    );
+    let w1_io15 = imp(
+        w1_default,
+        run_w1(
+            SchedulerKind::IoAware {
+                limit_bps: gibps(15.0),
+            },
+            true,
+        ),
+    );
     let w1_ad20 = imp(
         w1_default,
-        run_w1(SchedulerKind::Adaptive { limit_bps: gibps(20.0), two_group: true }, true),
+        run_w1(
+            SchedulerKind::Adaptive {
+                limit_bps: gibps(20.0),
+                two_group: true,
+            },
+            true,
+        ),
     );
     let w1_ad20u = imp(
         w1_default,
-        run_w1(SchedulerKind::Adaptive { limit_bps: gibps(20.0), two_group: true }, false),
+        run_w1(
+            SchedulerKind::Adaptive {
+                limit_bps: gibps(20.0),
+                two_group: true,
+            },
+            false,
+        ),
     );
-    rows.push(Row { experiment: "W1 io-aware 20 GiB/s vs default (Fig 3b)", paper: "~10%", measured: format!("{w1_io20:+.1}%") });
-    rows.push(Row { experiment: "W1 io-aware 15 GiB/s vs default (Fig 3c)", paper: "~20%", measured: format!("{w1_io15:+.1}%") });
-    rows.push(Row { experiment: "W1 adaptive 20 GiB/s vs default (Fig 3d)", paper: "~26%", measured: format!("{w1_ad20:+.1}%") });
-    rows.push(Row { experiment: "W1 adaptive untrained vs default (Fig 3e)", paper: "~25%", measured: format!("{w1_ad20u:+.1}%") });
+    rows.push(Row {
+        experiment: "W1 io-aware 20 GiB/s vs default (Fig 3b)",
+        paper: "~10%",
+        measured: format!("{w1_io20:+.1}%"),
+    });
+    rows.push(Row {
+        experiment: "W1 io-aware 15 GiB/s vs default (Fig 3c)",
+        paper: "~20%",
+        measured: format!("{w1_io15:+.1}%"),
+    });
+    rows.push(Row {
+        experiment: "W1 adaptive 20 GiB/s vs default (Fig 3d)",
+        paper: "~26%",
+        measured: format!("{w1_ad20:+.1}%"),
+    });
+    rows.push(Row {
+        experiment: "W1 adaptive untrained vs default (Fig 3e)",
+        paper: "~25%",
+        measured: format!("{w1_ad20u:+.1}%"),
+    });
 
     // ── Workload 2 (multi-seed medians, Fig. 6) ──
     let w2 = workload_2(&PaperParams::default());
@@ -62,23 +106,65 @@ fn main() {
         run_campaign(&ExperimentConfig::paper(kind, 0), &w2, &seeds).median_makespan_secs()
     };
     let w2_default = median(SchedulerKind::DefaultBackfill);
-    let w2_io20 = imp(w2_default, median(SchedulerKind::IoAware { limit_bps: gibps(20.0) }));
-    let w2_io15_m = median(SchedulerKind::IoAware { limit_bps: gibps(15.0) });
+    let w2_io20 = imp(
+        w2_default,
+        median(SchedulerKind::IoAware {
+            limit_bps: gibps(20.0),
+        }),
+    );
+    let w2_io15_m = median(SchedulerKind::IoAware {
+        limit_bps: gibps(15.0),
+    });
     let w2_io15 = imp(w2_default, w2_io15_m);
-    let w2_ad20 = imp(w2_default, median(SchedulerKind::Adaptive { limit_bps: gibps(20.0), two_group: true }));
-    let w2_ad15_m = median(SchedulerKind::Adaptive { limit_bps: gibps(15.0), two_group: true });
+    let w2_ad20 = imp(
+        w2_default,
+        median(SchedulerKind::Adaptive {
+            limit_bps: gibps(20.0),
+            two_group: true,
+        }),
+    );
+    let w2_ad15_m = median(SchedulerKind::Adaptive {
+        limit_bps: gibps(15.0),
+        two_group: true,
+    });
     let w2_ad15_vs_io15 = 100.0 * (w2_io15_m - w2_ad15_m) / w2_io15_m;
-    rows.push(Row { experiment: "W2 io-aware 20 GiB/s vs default (Fig 6)", paper: "~4%", measured: format!("{w2_io20:+.1}%") });
-    rows.push(Row { experiment: "W2 io-aware 15 GiB/s vs default (Fig 6)", paper: "~7%", measured: format!("{w2_io15:+.1}%") });
-    rows.push(Row { experiment: "W2 adaptive 20 GiB/s vs default (Fig 6)", paper: "~12%", measured: format!("{w2_ad20:+.1}%") });
-    rows.push(Row { experiment: "W2 adaptive 15 vs io-aware 15 (Fig 6)", paper: "~3%", measured: format!("{w2_ad15_vs_io15:+.1}%") });
+    rows.push(Row {
+        experiment: "W2 io-aware 20 GiB/s vs default (Fig 6)",
+        paper: "~4%",
+        measured: format!("{w2_io20:+.1}%"),
+    });
+    rows.push(Row {
+        experiment: "W2 io-aware 15 GiB/s vs default (Fig 6)",
+        paper: "~7%",
+        measured: format!("{w2_io15:+.1}%"),
+    });
+    rows.push(Row {
+        experiment: "W2 adaptive 20 GiB/s vs default (Fig 6)",
+        paper: "~12%",
+        measured: format!("{w2_ad20:+.1}%"),
+    });
+    rows.push(Row {
+        experiment: "W2 adaptive 15 vs io-aware 15 (Fig 6)",
+        paper: "~3%",
+        measured: format!("{w2_ad15_vs_io15:+.1}%"),
+    });
 
     // ── Render ──
     let mut out = String::new();
-    writeln!(out, "{:<44} {:>8} {:>10}", "experiment", "paper", "measured").unwrap();
+    writeln!(
+        out,
+        "{:<44} {:>8} {:>10}",
+        "experiment", "paper", "measured"
+    )
+    .unwrap();
     writeln!(out, "{}", "-".repeat(64)).unwrap();
     for r in &rows {
-        writeln!(out, "{:<44} {:>8} {:>10}", r.experiment, r.paper, r.measured).unwrap();
+        writeln!(
+            out,
+            "{:<44} {:>8} {:>10}",
+            r.experiment, r.paper, r.measured
+        )
+        .unwrap();
     }
     println!("{out}");
     write_output(&PathBuf::from("results/summary.txt"), &out).expect("write");

@@ -3,12 +3,13 @@
 //! The paper repeats every Workload-2 configuration multiple times and
 //! reports the full distribution (Fig. 6 swarm plot) with medians, because
 //! parallel-file-system performance is highly variable. A campaign runs
-//! the same configuration across seeds, fanned out over OS threads with
-//! `crossbeam`'s scoped threads.
+//! the same configuration across seeds, fanned out over a pool of scoped
+//! OS threads fed through an `mpsc` work queue.
 
 use crate::driver::{run_experiment, ExperimentConfig, ExperimentResult, SchedulerKind};
 use iosched_simkit::stats::median;
 use iosched_workloads::JobSubmission;
+use std::sync::{mpsc, Mutex};
 
 /// Results of one scheduler configuration across seeds.
 #[derive(Clone, Debug)]
@@ -27,8 +28,12 @@ impl CampaignResult {
     }
 }
 
-/// Run `base` under each seed in `seeds`, in parallel (one thread per run,
-/// bounded by available parallelism).
+/// Run `base` under each seed in `seeds`, in parallel over a pool of at
+/// most `available_parallelism` scoped threads. Workers pull `(index,
+/// seed)` tasks from a shared `mpsc` queue — long runs don't block the
+/// queue behind them the way fixed chunking would — and report results on
+/// a second channel, so the output order is `seeds` order regardless of
+/// completion order.
 pub fn run_campaign(
     base: &ExperimentConfig,
     workload: &[JobSubmission],
@@ -37,33 +42,39 @@ pub fn run_campaign(
     assert!(!seeds.is_empty(), "campaign needs at least one seed");
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(4);
+        .unwrap_or(4)
+        .min(seeds.len());
     let mut makespans = vec![0.0f64; seeds.len()];
 
-    // Chunked fan-out: at most `threads` concurrent runs.
-    for (chunk_idx, chunk) in seeds.chunks(threads).enumerate() {
-        let offset = chunk_idx * threads;
-        let results: Vec<(usize, f64)> = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (i, &seed) in chunk.iter().enumerate() {
+    let (task_tx, task_rx) = mpsc::channel::<(usize, u64)>();
+    for (i, &seed) in seeds.iter().enumerate() {
+        task_tx.send((i, seed)).expect("queue tasks");
+    }
+    drop(task_tx); // workers stop when the queue drains
+    let task_rx = Mutex::new(task_rx);
+    let (result_tx, result_rx) = mpsc::channel::<(usize, f64)>();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let result_tx = result_tx.clone();
+            let task_rx = &task_rx;
+            scope.spawn(move || loop {
+                // Hold the lock only for the dequeue, not the run.
+                let task = task_rx.lock().expect("task queue lock").recv();
+                let Ok((idx, seed)) = task else { break };
                 let mut cfg = base.clone();
                 cfg.seed = seed;
-                let workload = &workload;
-                handles.push(scope.spawn(move |_| {
-                    let res = run_experiment(&cfg, workload);
-                    (offset + i, res.makespan_secs)
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("campaign worker panicked"))
-                .collect()
-        })
-        .expect("campaign scope");
-        for (idx, m) in results {
+                let res = run_experiment(&cfg, workload);
+                result_tx
+                    .send((idx, res.makespan_secs))
+                    .expect("send result");
+            });
+        }
+        drop(result_tx); // collection below ends when all workers exit
+        for (idx, m) in result_rx.iter() {
             makespans[idx] = m;
         }
-    }
+    });
 
     CampaignResult {
         scheduler: base.scheduler,
@@ -127,7 +138,9 @@ mod tests {
         // Different seeds explore different noise paths: not all equal.
         let first = camp.makespans_secs[0];
         assert!(
-            camp.makespans_secs.iter().any(|&m| (m - first).abs() > 1e-9),
+            camp.makespans_secs
+                .iter()
+                .any(|&m| (m - first).abs() > 1e-9),
             "all seeds identical: {:?}",
             camp.makespans_secs
         );

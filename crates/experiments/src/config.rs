@@ -53,11 +53,7 @@ pub fn parse_sections(text: &str) -> Result<Sections, String> {
     for (i, raw) in text.lines().enumerate() {
         let line_no = i + 1;
         // Strip comments (`#` or `;`) and whitespace.
-        let line = raw
-            .split(['#', ';'])
-            .next()
-            .unwrap_or("")
-            .trim();
+        let line = raw.split(['#', ';']).next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
         }
@@ -218,10 +214,7 @@ mod tests {
 
     #[test]
     fn parses_sections_and_strips_comments() {
-        let s = parse_sections(
-            "# header\n[a]\nx = 1 ; trailing\n\n[b]\ny = two\n",
-        )
-        .unwrap();
+        let s = parse_sections("# header\n[a]\nx = 1 ; trailing\n\n[b]\ny = two\n").unwrap();
         assert_eq!(s["a"]["x"], "1");
         assert_eq!(s["b"]["y"], "two");
     }
@@ -263,7 +256,10 @@ mod tests {
         assert_eq!(spec.config.seed, 7);
         assert_eq!(spec.config.nodes, 10);
         assert!(!spec.config.pretrained);
-        assert_eq!(spec.config.priority_policy, PriorityPolicy::ShortestLimitFirst);
+        assert_eq!(
+            spec.config.priority_policy,
+            PriorityPolicy::ShortestLimitFirst
+        );
         assert_eq!(spec.workload.len(), 720);
         assert_eq!(spec.output_dir, "/tmp/x");
     }
@@ -277,18 +273,15 @@ mod tests {
 
     #[test]
     fn arrivals_modes() {
-        let spec = parse_run_spec(
-            "[workload]\nkind = workload1\narrivals = uniform\ngap_secs = 10\n",
-        )
-        .unwrap();
+        let spec =
+            parse_run_spec("[workload]\nkind = workload1\narrivals = uniform\ngap_secs = 10\n")
+                .unwrap();
         assert_eq!(
             spec.workload[1].submit,
             iosched_simkit::time::SimTime::from_secs(10)
         );
-        let spec = parse_run_spec(
-            "[workload]\narrivals = poisson\nrate_per_hour = 3600\n",
-        )
-        .unwrap();
+        let spec =
+            parse_run_spec("[workload]\narrivals = poisson\nrate_per_hour = 3600\n").unwrap();
         assert!(spec.workload.last().unwrap().submit > iosched_simkit::time::SimTime::ZERO);
         assert!(parse_run_spec("[workload]\narrivals = poisson\n").is_err());
     }

@@ -29,12 +29,11 @@ use iosched_slurm::{
     backfill_pass, BackfillConfig, JobRegistry, PriorityPolicy, SchedJob, SchedulingOutcome,
 };
 use iosched_workloads::JobSubmission;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Which scheduler to run — the five configurations of the paper's
 /// evaluation plus the naïve-adaptive ablation.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum SchedulerKind {
     /// Stock Slurm backfill (nodes only).
     DefaultBackfill,
@@ -46,6 +45,12 @@ pub enum SchedulerKind {
     /// order-free, reservation-free greedy packing of nodes × bandwidth.
     Packing { limit_bps: f64 },
 }
+iosched_simkit::impl_json_enum!(SchedulerKind {
+    DefaultBackfill,
+    IoAware { limit_bps },
+    Adaptive { limit_bps, two_group },
+    Packing { limit_bps },
+});
 
 impl SchedulerKind {
     /// Short human-readable label used in figure outputs.
@@ -136,7 +141,7 @@ impl ExperimentConfig {
 }
 
 /// Per-job outcome record.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct JobRecord {
     pub id: JobId,
     pub name: String,
@@ -146,6 +151,14 @@ pub struct JobRecord {
     /// True if the job was killed at its runtime limit.
     pub timed_out: bool,
 }
+iosched_simkit::impl_json_struct!(JobRecord {
+    id,
+    name,
+    submit,
+    start,
+    end,
+    timed_out,
+});
 
 impl JobRecord {
     /// Wait time `Q_j`.
@@ -183,18 +196,14 @@ pub struct ExperimentResult {
 impl ExperimentResult {
     /// Average allocated nodes over the makespan.
     pub fn mean_busy_nodes(&self) -> f64 {
-        self.nodes_trace.time_average(
-            SimTime::ZERO,
-            SimTime::from_secs_f64(self.makespan_secs),
-        )
+        self.nodes_trace
+            .time_average(SimTime::ZERO, SimTime::from_secs_f64(self.makespan_secs))
     }
 
     /// Average aggregate throughput over the makespan (bytes/s).
     pub fn mean_throughput_bps(&self) -> f64 {
-        self.throughput_trace.time_average(
-            SimTime::ZERO,
-            SimTime::from_secs_f64(self.makespan_secs),
-        )
+        self.throughput_trace
+            .time_average(SimTime::ZERO, SimTime::from_secs_f64(self.makespan_secs))
     }
 }
 
@@ -255,10 +264,7 @@ impl PolicyImpl {
 }
 
 /// Run one experiment to completion.
-pub fn run_experiment(
-    cfg: &ExperimentConfig,
-    workload: &[JobSubmission],
-) -> ExperimentResult {
+pub fn run_experiment(cfg: &ExperimentConfig, workload: &[JobSubmission]) -> ExperimentResult {
     assert!(!workload.is_empty(), "workload must not be empty");
     let master = SimRng::from_seed(cfg.seed);
     let mut cluster = ClusterSim::new(cfg.nodes, cfg.fs.clone(), master.fork(1));
@@ -343,9 +349,7 @@ pub fn run_experiment(
             let meta = registry.meta(c.job).expect("completed job exists");
             let name = meta.name.clone();
             let (started, ended) = match registry.state(c.job) {
-                Some(iosched_slurm::JobState::Completed { started, ended }) => {
-                    (started, ended)
-                }
+                Some(iosched_slurm::JobState::Completed { started, ended }) => (started, ended),
                 _ => unreachable!("just marked completed"),
             };
             analytics.on_job_complete(&daemon, c.job.0, &name, started, ended);
@@ -369,8 +373,11 @@ pub fn run_experiment(
         // 2. Monitoring sample.
         if now >= daemon.next_sample_at() {
             let snap = cluster.fs().snapshot();
-            let per_job: Vec<(u64, f64)> =
-                snap.per_tag_bps.iter().map(|(tag, &bps)| (tag.0, bps)).collect();
+            let per_job: Vec<(u64, f64)> = snap
+                .per_tag_bps
+                .iter()
+                .map(|(tag, &bps)| (tag.0, bps))
+                .collect();
             daemon.sample(now, snap.total_bps, &per_job, cluster.busy_nodes());
             result.throughput_trace.push(now, snap.total_bps);
             result.nodes_trace.push(now, cluster.busy_nodes() as f64);
@@ -385,8 +392,7 @@ pub fn run_experiment(
 
         // 3. Scheduling pass (periodic, or event-triggered subject to the
         // minimum interval).
-        let min_ok = last_sched
-            .is_none_or(|ls| now.saturating_since(ls) >= cfg.sched_min_interval);
+        let min_ok = last_sched.is_none_or(|ls| now.saturating_since(ls) >= cfg.sched_min_interval);
         if now >= next_sched || (sched_requested && min_ok) {
             sched_requested = false;
             last_sched = Some(now);
@@ -394,10 +400,8 @@ pub fn run_experiment(
 
             let queue_full = registry.wait_queue_ordered(now, cfg.priority_policy);
             if !queue_full.is_empty() {
-                let queue: Vec<&SchedJob> = queue_full
-                    .into_iter()
-                    .take(cfg.max_queue_depth)
-                    .collect();
+                let queue: Vec<&SchedJob> =
+                    queue_full.into_iter().take(cfg.max_queue_depth).collect();
                 let running = registry.running_views();
 
                 // Lines 1–2 of Algorithm 2: snapshot estimates + load.
@@ -407,8 +411,7 @@ pub fn run_experiment(
                 }
                 book.measured_total_bps = analytics.current_load_bps(&daemon, now);
 
-                let outcome =
-                    policy.run_pass(book, &running, &queue, now, cfg.nodes, &bf);
+                let outcome = policy.run_pass(book, &running, &queue, now, cfg.nodes, &bf);
                 result.sched_passes += 1;
 
                 for id in outcome.start_now {
@@ -424,10 +427,13 @@ pub fn run_experiment(
 
     // Final sample so traces extend to the end.
     let snap = cluster.fs().snapshot();
-    result.throughput_trace.push(now.max(daemon.next_sample_at()), snap.total_bps);
     result
-        .nodes_trace
-        .push(now.max(daemon.next_sample_at()), cluster.busy_nodes() as f64);
+        .throughput_trace
+        .push(now.max(daemon.next_sample_at()), snap.total_bps);
+    result.nodes_trace.push(
+        now.max(daemon.next_sample_at()),
+        cluster.busy_nodes() as f64,
+    );
 
     result.makespan_secs = registry
         .makespan()

@@ -8,7 +8,6 @@
 
 use crate::driver::{ExperimentResult, JobRecord};
 use iosched_simkit::stats::{median, OnlineStats};
-use serde::Serialize;
 use std::collections::BTreeMap;
 
 /// Threshold below which runtimes are clamped in the bounded-slowdown
@@ -16,7 +15,7 @@ use std::collections::BTreeMap;
 pub const BSLD_TAU_SECS: f64 = 10.0;
 
 /// Aggregate scheduling metrics for a set of job records.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct SchedulingMetrics {
     pub jobs: usize,
     pub mean_wait_secs: f64,
@@ -28,6 +27,15 @@ pub struct SchedulingMetrics {
     /// Jobs killed at their limit.
     pub timed_out: usize,
 }
+iosched_simkit::impl_json_struct!(SchedulingMetrics {
+    jobs,
+    mean_wait_secs,
+    median_wait_secs,
+    max_wait_secs,
+    mean_runtime_secs,
+    mean_bounded_slowdown,
+    timed_out,
+});
 
 /// Compute metrics over a slice of job records; `None` if empty.
 pub fn scheduling_metrics(jobs: &[JobRecord]) -> Option<SchedulingMetrics> {

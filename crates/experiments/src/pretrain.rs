@@ -71,7 +71,7 @@ mod tests {
     use super::*;
     use iosched_cluster::ExecSpec;
     use iosched_simkit::units::{gib, to_gibps};
-    use iosched_workloads::{PaperParams, workload_1};
+    use iosched_workloads::{workload_1, PaperParams};
 
     #[test]
     fn pretrains_each_name_once() {
@@ -82,7 +82,10 @@ mod tests {
         let sleep = obs.iter().find(|(n, _, _)| n == "sleep").unwrap();
         // An isolated write×8 job achieves a few GiB/s (cf. Fig. 4 at
         // one job) and finishes 80 GiB accordingly.
-        assert!(to_gibps(write.1) > 1.0 && to_gibps(write.1) < 6.0, "{write:?}");
+        assert!(
+            to_gibps(write.1) > 1.0 && to_gibps(write.1) < 6.0,
+            "{write:?}"
+        );
         assert!(write.2.as_secs_f64() > 10.0);
         // Sleep: zero throughput, 600 s runtime.
         assert_eq!(sleep.1, 0.0);

@@ -179,8 +179,7 @@ impl SchedulingPolicy for AdaptivePolicy {
         } else {
             TwoGroupSplit::naive(&split_jobs)
         };
-        let r_tilde_prime =
-            (r_tilde - total_nodes as f64 * split.r_zero_bar).max(0.0);
+        let r_tilde_prime = (r_tilde - total_nodes as f64 * split.r_zero_bar).max(0.0);
         let params = TwoGroupParams {
             r_tilde_bps: r_tilde,
             r_tilde_prime_bps: r_tilde_prime,
@@ -223,9 +222,9 @@ impl ReservationTracker for AdaptiveTracker {
             if t_rt == SimTime::FAR_FUTURE {
                 return t_rt;
             }
-            let t_at =
-                self.at
-                    .earliest_at_most(t_rt, job.limit, self.params.r_tilde_prime_bps);
+            let t_at = self
+                .at
+                .earliest_at_most(t_rt, job.limit, self.params.r_tilde_prime_bps);
             if t_at == t_rt {
                 return t_at;
             }
@@ -250,8 +249,8 @@ mod tests {
     use iosched_analytics::JobEstimate;
     use iosched_simkit::ids::JobId;
     use iosched_simkit::time::SimDuration;
-    use iosched_slurm::{backfill_pass, BackfillConfig};
     use iosched_simkit::units::gibps;
+    use iosched_slurm::{backfill_pass, BackfillConfig};
 
     fn job(id: u64, nodes: usize, limit_s: u64) -> SchedJob {
         SchedJob::new(
@@ -323,8 +322,7 @@ mod tests {
         // *before* it is ≤ R̃′: usages 0, 4, 8, … → exactly
         // floor(R̃′/4) + 1 = 6 writers start; sleeps all start.
         let mut p = AdaptivePolicy::new(AdaptiveConfig::paper(100.0));
-        let mut entries: Vec<(u64, f64, u64)> =
-            (1..=10).map(|i| (i, 4.0, 100)).collect();
+        let mut entries: Vec<(u64, f64, u64)> = (1..=10).map(|i| (i, 4.0, 100)).collect();
         entries.extend((11..=20).map(|i| (i, 0.0, 250)));
         p.begin_round(book(&entries, 0.0));
         let jobs: Vec<SchedJob> = (1..=20)

@@ -43,7 +43,9 @@ impl EstimateBook {
     /// Estimated runtime `d_j`; zero when unknown (callers fall back to
     /// the requested limit where the algorithm needs a duration).
     pub fn d(&self, job: JobId) -> SimDuration {
-        self.per_job.get(&job).map_or(SimDuration::ZERO, |e| e.runtime)
+        self.per_job
+            .get(&job)
+            .map_or(SimDuration::ZERO, |e| e.runtime)
     }
 
     /// Estimated runtime, or `limit` when there is no estimate (or a

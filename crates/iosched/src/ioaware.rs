@@ -204,12 +204,15 @@ mod tests {
         );
         let q: Vec<SchedJob> = (1..=4).map(|i| job(i, 1, 100)).collect();
         let refs: Vec<&SchedJob> = q.iter().collect();
-        let out = backfill_pass(&mut p, &[], &refs, SimTime::ZERO, 100, &BackfillConfig::default());
-        assert_eq!(
-            out.start_now,
-            vec![JobId(1), JobId(2), JobId(3)],
-            "{out:?}"
+        let out = backfill_pass(
+            &mut p,
+            &[],
+            &refs,
+            SimTime::ZERO,
+            100,
+            &BackfillConfig::default(),
         );
+        assert_eq!(out.start_now, vec![JobId(1), JobId(2), JobId(3)], "{out:?}");
         assert_eq!(out.reservations.len(), 1);
         assert_eq!(out.reservations[0], (JobId(4), SimTime::from_secs(100)));
     }
@@ -219,7 +222,14 @@ mod tests {
         let mut p = policy_with(10.0, &[], 0.0);
         let q: Vec<SchedJob> = (1..=5).map(|i| job(i, 1, 100)).collect();
         let refs: Vec<&SchedJob> = q.iter().collect();
-        let out = backfill_pass(&mut p, &[], &refs, SimTime::ZERO, 100, &BackfillConfig::default());
+        let out = backfill_pass(
+            &mut p,
+            &[],
+            &refs,
+            SimTime::ZERO,
+            100,
+            &BackfillConfig::default(),
+        );
         assert_eq!(out.start_now.len(), 5);
     }
 
@@ -235,7 +245,14 @@ mod tests {
         }];
         let q2 = job(2, 1, 50);
         let refs = [&q2];
-        let out = backfill_pass(&mut p, &running, &refs, SimTime::ZERO, 100, &BackfillConfig::default());
+        let out = backfill_pass(
+            &mut p,
+            &running,
+            &refs,
+            SimTime::ZERO,
+            100,
+            &BackfillConfig::default(),
+        );
         assert!(out.start_now.is_empty());
         assert_eq!(out.reservations[0], (JobId(2), SimTime::from_secs(100)));
     }
@@ -253,7 +270,14 @@ mod tests {
         }];
         let q2 = job(2, 1, 50);
         let refs = [&q2];
-        let out = backfill_pass(&mut p, &running, &refs, SimTime::ZERO, 100, &BackfillConfig::default());
+        let out = backfill_pass(
+            &mut p,
+            &running,
+            &refs,
+            SimTime::ZERO,
+            100,
+            &BackfillConfig::default(),
+        );
         assert!(out.start_now.is_empty(), "{out:?}");
         assert_eq!(out.reservations[0], (JobId(2), SimTime::from_secs(100)));
     }
@@ -265,7 +289,14 @@ mod tests {
         let mut p = policy_with(10.0, &[(1, 3.0, 50)], 9.0);
         let q1 = job(1, 1, 50);
         let refs = [&q1];
-        let out = backfill_pass(&mut p, &[], &refs, SimTime::ZERO, 100, &BackfillConfig::default());
+        let out = backfill_pass(
+            &mut p,
+            &[],
+            &refs,
+            SimTime::ZERO,
+            100,
+            &BackfillConfig::default(),
+        );
         assert_eq!(out.start_now, vec![JobId(1)]);
     }
 
@@ -277,7 +308,14 @@ mod tests {
         let a = job(1, 1, 100);
         let b = job(2, 1, 100);
         let refs = [&a, &b];
-        let out = backfill_pass(&mut p, &[], &refs, SimTime::ZERO, 100, &BackfillConfig::default());
+        let out = backfill_pass(
+            &mut p,
+            &[],
+            &refs,
+            SimTime::ZERO,
+            100,
+            &BackfillConfig::default(),
+        );
         assert_eq!(out.start_now, vec![JobId(1)]);
         assert_eq!(out.reservations[0], (JobId(2), SimTime::from_secs(100)));
     }
@@ -300,7 +338,14 @@ mod tests {
         let a = job(2, 1, 50);
         let b = job(3, 1, 30);
         let refs = [&a, &b];
-        let out = backfill_pass(&mut p, &running, &refs, SimTime::ZERO, 2, &BackfillConfig::default());
+        let out = backfill_pass(
+            &mut p,
+            &running,
+            &refs,
+            SimTime::ZERO,
+            2,
+            &BackfillConfig::default(),
+        );
         assert!(out.start_now.is_empty());
         let ta = out.reservations[0].1;
         let tb = out.reservations[1].1;

@@ -135,10 +135,7 @@ pub fn two_group_split(jobs: &[SplitJob], qos_fraction: f64) -> TwoGroupSplit {
     let zero: Vec<&SplitJob> = sorted[..cut].to_vec();
     let zero_node_time: f64 = zero.iter().map(|j| j.node_time()).sum();
     let r_zero_bar = if zero_node_time > 0.0 {
-        zero.iter()
-            .map(|j| j.rho() * j.node_time())
-            .sum::<f64>()
-            / zero_node_time
+        zero.iter().map(|j| j.rho() * j.node_time()).sum::<f64>() / zero_node_time
     } else {
         0.0
     };
@@ -175,7 +172,7 @@ impl TwoGroupParams {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use iosched_simkit::{prop, prop_assert, prop_assert_eq, props};
 
     fn j(id: u64, r: f64, nodes: usize, d: f64) -> SplitJob {
         SplitJob {
@@ -283,13 +280,12 @@ mod tests {
         assert_eq!(params.adjusted_r(5.0, 2), 4.0); // scales with nodes
     }
 
-    proptest! {
+    props! {
         /// Eq. (2): zero-group node-time ≥ qos·total; threshold is minimal
         /// (dropping the jobs at ρ = r* would violate the requirement);
         /// r̄_zero ≤ r*; adjusted regular requirements are non-negative.
-        #[test]
         fn prop_split_invariants(
-            raw in proptest::collection::vec((0.0f64..10.0, 1usize..4, 1.0f64..100.0), 1..30),
+            raw in prop::vec((0.0f64..10.0, 1usize..4, 1.0f64..100.0), 1..30),
             qos in 0.05f64..0.95,
         ) {
             let jobs: Vec<SplitJob> = raw

@@ -6,8 +6,8 @@ use iosched_analytics::JobEstimate;
 use iosched_core::{AdaptiveConfig, AdaptivePolicy, EstimateBook, IoAwareConfig, IoAwarePolicy};
 use iosched_simkit::ids::JobId;
 use iosched_simkit::time::{SimDuration, SimTime};
+use iosched_simkit::{prop, prop_assert, prop_assert_eq, props};
 use iosched_slurm::{backfill_pass, BackfillConfig, ResourceProfile, SchedJob};
-use proptest::prelude::*;
 
 fn build_queue(spec: &[(usize, u64, f64, u64)]) -> (Vec<SchedJob>, EstimateBook) {
     let mut book = EstimateBook::new();
@@ -35,14 +35,13 @@ fn build_queue(spec: &[(usize, u64, f64, u64)]) -> (Vec<SchedJob>, EstimateBook)
     (queue, book)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+props! {
+    #![cases(64)]
 
     /// The I/O-aware plan (starts + future reservations) never exceeds
     /// the throughput limit at any instant, for any queue and estimates.
-    #[test]
     fn io_aware_plan_respects_the_limit(
-        spec in proptest::collection::vec(
+        spec in prop::vec(
             (1usize..4, 50u64..500, 0.0f64..12.0, 10u64..400),
             1..25,
         ),
@@ -83,7 +82,6 @@ proptest! {
 
     /// Zero-estimate jobs are never delayed by the I/O-aware policy when
     /// nodes are free (they cost no bandwidth).
-    #[test]
     fn io_aware_zero_jobs_start_immediately(
         n_zero in 1usize..10,
         n_heavy in 0usize..10,
@@ -119,9 +117,8 @@ proptest! {
     /// The adaptive tracker's target parameters are internally
     /// consistent: R̃′ = max(0, R̃ − N·r̄_zero), r̄_zero ≤ r*, and the
     /// adjusted requirement of every regular job is non-negative.
-    #[test]
     fn adaptive_round_parameters_consistent(
-        spec in proptest::collection::vec(
+        spec in prop::vec(
             (1usize..4, 50u64..500, 0.0f64..12.0, 10u64..400),
             1..25,
         ),
@@ -167,9 +164,8 @@ proptest! {
     /// bandwidth capping would suggest it must hold back: every job it
     /// delays is either a regular job gated by the target, or blocked by
     /// the hard limit — never a zero job with free nodes.
-    #[test]
     fn adaptive_never_delays_zero_jobs_with_free_nodes(
-        spec in proptest::collection::vec(
+        spec in prop::vec(
             (1usize..2, 50u64..300, 0.0f64..10.0, 10u64..200),
             1..16,
         ),

@@ -9,23 +9,24 @@
 //! containers that sample a single global quantity use key 0.
 
 use iosched_simkit::time::SimTime;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One stored sample.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Record {
     pub time: SimTime,
     /// Entity key (job id / node index / 0 for global metrics).
     pub key: u64,
     pub value: f64,
 }
+iosched_simkit::impl_json_struct!(Record { time, key, value });
 
 /// A time-ordered, append-only record container.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Container {
     records: Vec<Record>,
 }
+iosched_simkit::impl_json_struct!(Container { records });
 
 impl Container {
     /// Append a record. Timestamps must be non-decreasing (LDMS samples
@@ -102,9 +103,7 @@ impl Container {
 
     /// The latest record at or before `t` for a key.
     pub fn latest_for_key(&self, key: u64, t: SimTime) -> Option<&Record> {
-        let hi = self
-            .records
-            .partition_point(|r| r.time <= t);
+        let hi = self.records.partition_point(|r| r.time <= t);
         self.records[..hi].iter().rev().find(|r| r.key == key)
     }
 
@@ -124,8 +123,7 @@ impl Container {
         let mut out = Vec::new();
         let mut bucket_start = from;
         while bucket_start < to {
-            let bucket_end =
-                SimTime::from_millis(bucket_start.as_millis() + bucket_ms).min(to);
+            let bucket_end = SimTime::from_millis(bucket_start.as_millis() + bucket_ms).min(to);
             out.push((
                 bucket_start,
                 self.mean_for_key(key, bucket_start, bucket_end),
@@ -146,10 +144,11 @@ impl Container {
 }
 
 /// Named containers, one per metric schema.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct MetricStore {
     containers: BTreeMap<String, Container>,
 }
+iosched_simkit::impl_json_struct!(MetricStore { containers });
 
 /// Schema name for aggregate file-system throughput samples (key 0,
 /// value = bytes/s).

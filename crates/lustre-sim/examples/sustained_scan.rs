@@ -10,7 +10,12 @@ fn main() {
     println!("jobs  short60s  sustained300s");
     for k in [1usize, 2, 3, 4, 6, 8, 10, 12, 15] {
         let mean = |v: Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
-        let s = mean(steady_state_samples(&cfg, &ProbeConfig::short_term(), k, 42));
+        let s = mean(steady_state_samples(
+            &cfg,
+            &ProbeConfig::short_term(),
+            k,
+            42,
+        ));
         let l = mean(steady_state_samples(&cfg, &ProbeConfig::sustained(), k, 42));
         println!("{k:4}  {:8.2}  {:8.2}", to_gibps(s), to_gibps(l));
     }

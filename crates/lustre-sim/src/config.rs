@@ -2,7 +2,6 @@
 
 use iosched_simkit::time::SimDuration;
 use iosched_simkit::units::gibps;
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the Lustre-like file-system model.
 ///
@@ -11,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// Lustre (peak aggregate ≈ 20 GiB/s short-term, ≈ 15 GiB/s sustained,
 /// concave throughput-vs-concurrency profile — see EXPERIMENTS.md for the
 /// calibration record).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct LustreConfig {
     /// Number of object storage targets (Stria: 56 SSD volumes).
     pub n_ost: usize,
@@ -54,6 +53,21 @@ pub struct LustreConfig {
     /// single OSTs from accumulating unbounded stream pile-ups.
     pub ost_candidates: usize,
 }
+iosched_simkit::impl_json_struct!(LustreConfig {
+    n_ost,
+    ost_bandwidth_bps,
+    interference_gamma,
+    stream_cap_bps,
+    node_cap_bps,
+    fabric_cap_bps,
+    noise_sigma,
+    noise_epoch,
+    fatigue_phi,
+    fatigue_tau_up,
+    fatigue_tau_down,
+    fatigue_threshold,
+    ost_candidates,
+});
 
 impl LustreConfig {
     /// Calibrated model of Stria's Lustre instance.
@@ -153,7 +167,10 @@ mod tests {
     fn stria_validates() {
         LustreConfig::stria().validate().unwrap();
         LustreConfig::stria().noiseless().validate().unwrap();
-        LustreConfig::stria().without_interference().validate().unwrap();
+        LustreConfig::stria()
+            .without_interference()
+            .validate()
+            .unwrap();
     }
 
     #[test]

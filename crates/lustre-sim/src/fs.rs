@@ -130,7 +130,15 @@ impl LustreSim {
         n_threads: usize,
         bytes_per_thread: f64,
     ) -> Vec<StreamId> {
-        self.start_transfer(t, tag, node, n_threads, bytes_per_thread, Direction::Write, 0.0)
+        self.start_transfer(
+            t,
+            tag,
+            node,
+            n_threads,
+            bytes_per_thread,
+            Direction::Write,
+            0.0,
+        )
     }
 
     /// Like [`Self::start_write`] but with a burst-buffer release: each
@@ -172,7 +180,15 @@ impl LustreSim {
         n_threads: usize,
         bytes_per_thread: f64,
     ) -> Vec<StreamId> {
-        self.start_transfer(t, tag, node, n_threads, bytes_per_thread, Direction::Read, 0.0)
+        self.start_transfer(
+            t,
+            tag,
+            node,
+            n_threads,
+            bytes_per_thread,
+            Direction::Read,
+            0.0,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -497,7 +513,11 @@ impl LustreSim {
 
     /// Aggregate allocated rate right now, bytes/s.
     pub fn total_throughput_bps(&self) -> f64 {
-        self.streams.values().map(|s| s.rate_bps).sum::<f64>().max(0.0)
+        self.streams
+            .values()
+            .map(|s| s.rate_bps)
+            .sum::<f64>()
+            .max(0.0)
     }
 
     /// Number of active streams.
@@ -635,7 +655,10 @@ mod tests {
         fs.start_write(SimTime::ZERO, StreamTag(1), 0, 1, gib(10.0));
         fs.start_write(SimTime::ZERO, StreamTag(2), 1, 1, gib(10.0));
         let duo = fs.total_throughput_bps();
-        assert!(duo < solo, "interference should reduce aggregate: {duo} vs {solo}");
+        assert!(
+            duo < solo,
+            "interference should reduce aggregate: {duo} vs {solo}"
+        );
     }
 
     #[test]
@@ -701,7 +724,10 @@ mod tests {
         let t = SimTime::from_secs(35);
         a.advance_to(t);
         b.advance_to(t);
-        assert_eq!(a.total_throughput_bps().to_bits(), b.total_throughput_bps().to_bits());
+        assert_eq!(
+            a.total_throughput_bps().to_bits(),
+            b.total_throughput_bps().to_bits()
+        );
         assert!((a.bytes_written_total() - b.bytes_written_total()).abs() < 1e-6);
     }
 
@@ -783,7 +809,10 @@ mod tests {
         }
         let notified_at = notified_at.expect("release fired").as_secs_f64();
         let completed_at = completed_at.expect("drain completed").as_secs_f64();
-        assert!((notified_at - 2.0 / 0.45).abs() < 0.1, "released at {notified_at}");
+        assert!(
+            (notified_at - 2.0 / 0.45).abs() < 0.1,
+            "released at {notified_at}"
+        );
         assert!(
             (completed_at - 10.0 / 0.45).abs() < 0.1,
             "drained at {completed_at}"

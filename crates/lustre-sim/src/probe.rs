@@ -199,7 +199,13 @@ mod tests {
             let mut fs = LustreSim::new(cfg, SimRng::from_seed(5));
             // Big enough volume that nothing completes in the window.
             for node in 0..2 {
-                fs.start_write(SimTime::ZERO, StreamTag(node as u64), node, 8, gib(10_000.0));
+                fs.start_write(
+                    SimTime::ZERO,
+                    StreamTag(node as u64),
+                    node,
+                    8,
+                    gib(10_000.0),
+                );
             }
             (1..=100)
                 .map(|s| {

@@ -122,7 +122,7 @@ pub fn max_min_fair(n_flows: usize, constraints: &[Constraint]) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use iosched_simkit::{prop, prop_assert, props};
 
     fn c(capacity: f64, members: &[usize]) -> Constraint {
         Constraint {
@@ -143,7 +143,12 @@ mod tests {
         // gets 1 and flows 1,2 get 4.5 each.
         let rates = max_min_fair(
             3,
-            &[c(10.0, &[0, 1, 2]), c(1.0, &[0]), c(100.0, &[1]), c(100.0, &[2])],
+            &[
+                c(10.0, &[0, 1, 2]),
+                c(1.0, &[0]),
+                c(100.0, &[1]),
+                c(100.0, &[2]),
+            ],
         );
         assert!((rates[0] - 1.0).abs() < 1e-9);
         assert!((rates[1] - 4.5).abs() < 1e-9);
@@ -182,15 +187,14 @@ mod tests {
         assert!((rates[0] - 4.0).abs() < 1e-9);
     }
 
-    proptest! {
+    props! {
         /// No constraint is ever violated, and no flow can be raised
         /// without lowering a flow with a smaller-or-equal rate
         /// (max-min optimality witness: every flow has a saturated
         /// constraint, or has the globally maximal rate).
-        #[test]
         fn prop_feasible_and_maxmin(
             n_flows in 1usize..12,
-            caps in proptest::collection::vec(0.1f64..100.0, 1..8),
+            caps in prop::vec(0.1f64..100.0, 1..8),
             seed in 0u64..1000,
         ) {
             // Build random constraints, then one catch-all to cover flows.

@@ -1,27 +1,28 @@
 //! Write streams: the unit of I/O in the fluid model.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of an active write stream, unique for the lifetime of a
 /// [`crate::LustreSim`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct StreamId(pub u64);
+iosched_simkit::impl_json_newtype!(StreamId, u64);
 
 /// Opaque owner tag attached to a stream. The cluster simulator stores the
 /// job identifier here so per-job throughput can be aggregated without the
 /// file-system model knowing about jobs.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct StreamTag(pub u64);
+iosched_simkit::impl_json_newtype!(StreamTag, u64);
 
 /// Transfer direction of a stream. Reads and writes share the same OST,
 /// node and fabric bandwidth in this model (Lustre OSS servers serve both
 /// from the same disks and links); the direction is carried for metrics
 /// and for workloads that distinguish producer and consumer jobs.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Direction {
     Write,
     Read,
 }
+iosched_simkit::impl_json_enum!(Direction { Write, Read });
 
 /// Internal state of an active stream.
 #[derive(Clone, Debug)]

@@ -6,13 +6,18 @@ use iosched_lustre::{LustreConfig, LustreSim, StreamTag};
 use iosched_simkit::rng::SimRng;
 use iosched_simkit::time::SimTime;
 use iosched_simkit::units::{gib, MIB};
-use proptest::prelude::*;
+use iosched_simkit::{prop, prop_assert, prop_assert_eq, prop_oneof, props};
+use prop::Strategy;
 
 /// A randomised op sequence for the model.
 #[derive(Clone, Debug)]
 enum Op {
     /// Start a write of (threads, mib_per_thread) from a node.
-    Start { node: usize, threads: usize, mib: u16 },
+    Start {
+        node: usize,
+        threads: usize,
+        mib: u16,
+    },
     /// Advance by this many milliseconds.
     Advance { ms: u32 },
     /// Cancel everything a tag owns.
@@ -31,14 +36,13 @@ fn arb_op() -> impl Strategy<Value = Op> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+props! {
+    #![cases(32)]
 
     /// Under any op sequence: time is monotone, rates are feasible
     /// (aggregate within the fabric cap, per-stream within the stream
     /// cap), and total bytes written never exceeds the volume offered.
-    #[test]
-    fn model_invariants_hold(ops in proptest::collection::vec(arb_op(), 1..60), seed in 0u64..500) {
+    fn model_invariants_hold(ops in prop::vec(arb_op(), 1..60), seed in 0u64..500) {
         let cfg = LustreConfig::stria();
         let fabric = cfg.fabric_cap_bps;
         let mut fs = LustreSim::new(cfg, SimRng::from_seed(seed));
@@ -80,9 +84,8 @@ proptest! {
     }
 
     /// Run-to-run determinism under identical op sequences and seeds.
-    #[test]
     fn op_sequences_are_deterministic(
-        ops in proptest::collection::vec(arb_op(), 1..30),
+        ops in prop::vec(arb_op(), 1..30),
         seed in 0u64..100,
     ) {
         let run = |ops: &[Op]| -> (u64, u64) {

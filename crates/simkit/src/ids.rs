@@ -4,14 +4,12 @@
 //! and the analytics so job records can flow across crate boundaries
 //! without conversions.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Cluster-wide job identifier, assigned at submission.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct JobId(pub u64);
+crate::impl_json_newtype!(JobId, u64);
 
 impl fmt::Display for JobId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -18,11 +18,27 @@
 //! * [`TimeSeries`] — step-function time series with integration,
 //!   time-averaging and resampling, used for throughput/allocation traces.
 //!
-//! Everything here avoids global state, wall clocks and threads;
-//! determinism is a hard requirement because the reproduction experiments
-//! compare schedulers across seeds.
+//! The workspace builds **hermetically, with zero external crates**, so
+//! `simkit` also carries the in-repo replacements for the usual
+//! ecosystem dependencies:
+//!
+//! * [`json`] — a JSON `Value`, parser/serializer, and derive-free
+//!   [`ToJson`]/[`FromJson`] impl macros (replaces `serde`);
+//! * [`prop`] — a seeded property-testing harness with bounded shrinking
+//!   and the [`props!`] macro (replaces `proptest`);
+//! * [`bench`] — a micro-benchmark harness emitting `BENCH_*.json`
+//!   (replaces `criterion`);
+//! * [`rng`] itself is an in-repo xoshiro256++ (replaces `rand`).
+//!
+//! Everything here avoids global state, wall clocks and threads (the
+//! bench harness, which exists to measure wall time, is the deliberate
+//! exception); determinism is a hard requirement because the
+//! reproduction experiments compare schedulers across seeds.
 
+pub mod bench;
 pub mod ids;
+pub mod json;
+pub mod prop;
 pub mod queue;
 pub mod rng;
 pub mod series;
@@ -31,6 +47,7 @@ pub mod time;
 pub mod units;
 
 pub use ids::JobId;
+pub use json::{FromJson, ToJson, Value};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use series::TimeSeries;

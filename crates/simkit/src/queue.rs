@@ -98,7 +98,7 @@ impl<E> EventQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::{prop, prop_assert, props};
 
     #[test]
     fn pops_in_time_order() {
@@ -136,11 +136,10 @@ mod tests {
         assert_eq!(q.peek_time(), None);
     }
 
-    proptest! {
+    props! {
         /// Popping always yields non-decreasing timestamps, and equal
         /// timestamps preserve push order.
-        #[test]
-        fn prop_stable_time_order(times in proptest::collection::vec(0u64..50, 1..200)) {
+        fn prop_stable_time_order(times in prop::vec(0u64..50, 1..200)) {
             let mut q = EventQueue::new();
             for (i, &t) in times.iter().enumerate() {
                 q.push(SimTime::from_millis(t), i);

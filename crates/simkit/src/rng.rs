@@ -5,33 +5,53 @@
 //! determined by its master seed; independent subsystems get statistically
 //! independent streams via [`SimRng::fork`], so adding a consumer in one
 //! subsystem cannot perturb another subsystem's draws.
+//!
+//! The generator is an in-repo **xoshiro256++** (Blackman & Vigna), with
+//! its 256-bit state expanded from the 64-bit seed by **SplitMix64** — the
+//! reference seeding procedure. No external crates: the byte-for-byte
+//! output stream is pinned by this file alone (see the reference-vector
+//! tests), so results are reproducible across toolchain and dependency
+//! upgrades.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// SplitMix64 step, used to expand seeds and derive fork seeds. A single
+/// step is a strong 64-bit mixer, so fork streams are decorrelated even
+/// for adjacent labels.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One-shot SplitMix64 mix of a value (stateless form, used for fork
+/// label mixing).
+fn mix64(seed: u64) -> u64 {
+    let mut s = seed;
+    splitmix64(&mut s)
+}
 
 /// Seeded random number generator with the distributions the simulators
-/// need. Wraps [`rand::rngs::StdRng`].
+/// need. The core generator is xoshiro256++.
+#[derive(Clone, Debug)]
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
     seed: u64,
 }
 
-/// SplitMix64 step, used to derive fork seeds. A single step is a strong
-/// 64-bit mixer, so fork streams are decorrelated even for adjacent labels.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
-
 impl SimRng {
-    /// Create a generator from a 64-bit seed.
+    /// Create a generator from a 64-bit seed. The 256-bit xoshiro state is
+    /// filled with four successive SplitMix64 outputs, per the generator
+    /// authors' recommendation (this also guarantees a non-zero state).
     pub fn from_seed(seed: u64) -> Self {
-        SimRng {
-            inner: StdRng::seed_from_u64(seed),
-            seed,
-        }
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s, seed }
     }
 
     /// The seed this generator was created with.
@@ -44,12 +64,28 @@ impl SimRng {
     /// consume state from `self`, so the set of forks is stable no matter
     /// in which order subsystems are constructed.
     pub fn fork(&self, label: u64) -> SimRng {
-        SimRng::from_seed(splitmix64(self.seed ^ splitmix64(label)))
+        SimRng::from_seed(mix64(self.seed ^ mix64(label)))
     }
 
-    /// Uniform in `[0, 1)`.
+    /// Next raw 64-bit output (xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let s2 = s2 ^ s0;
+        let s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        let s2 = s2 ^ t;
+        let s3 = s3.rotate_left(45);
+        self.s = [s0, s1, s2, s3];
+        result
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision (the standard
+    /// `(x >> 11) * 2^-53` conversion).
     pub fn uniform(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform in `[lo, hi)`. Requires `lo < hi`.
@@ -59,9 +95,14 @@ impl SimRng {
     }
 
     /// Uniform integer in `[0, n)`. Requires `n > 0`.
+    ///
+    /// Uses Lemire's widening-multiply reduction; the bias is below
+    /// `n / 2^64`, far under anything a simulation statistic can resolve,
+    /// and the draw always consumes exactly one generator step (which
+    /// keeps streams aligned across platforms).
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index() requires a non-empty range");
-        self.inner.random_range(0..n)
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
     /// Standard normal draw (Box–Muller; one value per call, the pair's
@@ -113,6 +154,58 @@ impl SimRng {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn splitmix64_reference_vectors() {
+        // First outputs of SplitMix64 from seed 0 (the generator authors'
+        // published sequence) — pins the seeding path.
+        let mut s = 0u64;
+        assert_eq!(splitmix64(&mut s), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(splitmix64(&mut s), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(splitmix64(&mut s), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn xoshiro_reference_vectors() {
+        // Pinned first outputs for fixed seeds. These freeze the exact
+        // output stream: any change to seeding or stepping is a breaking
+        // change to every recorded experiment result.
+        let mut r = SimRng::from_seed(0);
+        let got: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                0x53175D61490B23DF,
+                0x61DA6F3DC380D507,
+                0x5C0FDF91EC9A7BFC,
+                0x02EEBF8C3BBE5E1A,
+            ]
+        );
+        let mut r = SimRng::from_seed(42);
+        let got: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                0xD0764D4F4476689F,
+                0x519E4174576F3791,
+                0xFBE07CFB0C24ED8C,
+                0xB37D9F600CD835B8,
+            ]
+        );
+    }
+
+    #[test]
+    fn uniform_reference_vectors() {
+        // The f64 conversion is part of the pinned contract too.
+        let mut r = SimRng::from_seed(7);
+        let got: Vec<u64> = (0..3).map(|_| r.uniform().to_bits()).collect();
+        let expect: Vec<u64> = vec![
+            0.05536043647833311_f64.to_bits(),
+            0.17211585444811772_f64.to_bits(),
+            0.7175761283586594_f64.to_bits(),
+        ];
+        assert_eq!(got, expect);
+    }
 
     #[test]
     fn same_seed_same_stream() {
@@ -200,6 +293,20 @@ mod tests {
         assert!(seen.iter().all(|&s| s));
         let items = [1, 2, 3];
         assert!(items.contains(r.choose(&items)));
+    }
+
+    #[test]
+    fn index_is_unbiased_enough() {
+        let mut r = SimRng::from_seed(29);
+        let n = 60_000;
+        let mut counts = [0u32; 3];
+        for _ in 0..n {
+            counts[r.index(3)] += 1;
+        }
+        for c in counts {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 1.0 / 3.0).abs() < 0.01, "counts {counts:?}");
+        }
     }
 
     #[test]

@@ -6,13 +6,13 @@
 //! matches both the 1 s monitoring cadence and the reservation profiles.
 
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// A piecewise-constant time series with non-decreasing timestamps.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct TimeSeries {
     points: Vec<(SimTime, f64)>,
 }
+crate::impl_json_struct!(TimeSeries { points });
 
 impl TimeSeries {
     /// Create an empty series.
@@ -122,7 +122,7 @@ impl TimeSeries {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::{prop, prop_assert, prop_assert_eq, props};
 
     fn ts(points: &[(u64, f64)]) -> TimeSeries {
         let mut s = TimeSeries::new();
@@ -163,10 +163,22 @@ mod tests {
     fn integral_of_steps() {
         // 10 on [1,3), 20 on [3,..)
         let s = ts(&[(1, 10.0), (3, 20.0)]);
-        assert_eq!(s.integral(SimTime::from_secs(1), SimTime::from_secs(3)), 20.0);
-        assert_eq!(s.integral(SimTime::from_secs(0), SimTime::from_secs(3)), 20.0);
-        assert_eq!(s.integral(SimTime::from_secs(2), SimTime::from_secs(4)), 30.0);
-        assert_eq!(s.integral(SimTime::from_secs(5), SimTime::from_secs(5)), 0.0);
+        assert_eq!(
+            s.integral(SimTime::from_secs(1), SimTime::from_secs(3)),
+            20.0
+        );
+        assert_eq!(
+            s.integral(SimTime::from_secs(0), SimTime::from_secs(3)),
+            20.0
+        );
+        assert_eq!(
+            s.integral(SimTime::from_secs(2), SimTime::from_secs(4)),
+            30.0
+        );
+        assert_eq!(
+            s.integral(SimTime::from_secs(5), SimTime::from_secs(5)),
+            0.0
+        );
         assert_eq!(
             s.time_average(SimTime::from_secs(1), SimTime::from_secs(3)),
             10.0
@@ -178,7 +190,10 @@ mod tests {
         let s = TimeSeries::new();
         assert_eq!(s.integral(SimTime::ZERO, SimTime::from_secs(10)), 0.0);
         let s = ts(&[(0, 1.0)]);
-        assert_eq!(s.integral(SimTime::from_secs(5), SimTime::from_secs(2)), 0.0);
+        assert_eq!(
+            s.integral(SimTime::from_secs(5), SimTime::from_secs(2)),
+            0.0
+        );
     }
 
     #[test]
@@ -197,11 +212,10 @@ mod tests {
         assert_eq!(TimeSeries::new().max_value(), None);
     }
 
-    proptest! {
+    props! {
         /// value_at agrees with a naive linear scan at arbitrary probes.
-        #[test]
         fn prop_value_at_matches_linear_scan(
-            raw in proptest::collection::vec((0u64..100, -10.0f64..10.0), 1..40),
+            raw in prop::vec((0u64..100, -10.0f64..10.0), 1..40),
             probe in 0u64..120,
         ) {
             let mut pts: Vec<(u64, f64)> = raw;
@@ -216,9 +230,8 @@ mod tests {
         }
 
         /// Resampling points are exactly value_at on the grid.
-        #[test]
         fn prop_resample_matches_value_at(
-            raw in proptest::collection::vec((0u64..50, -5.0f64..5.0), 1..20),
+            raw in prop::vec((0u64..50, -5.0f64..5.0), 1..20),
             step_s in 1u64..10,
         ) {
             let mut pts: Vec<(u64, f64)> = raw;
@@ -233,9 +246,8 @@ mod tests {
         }
 
         /// Integral over [a,c) equals integral over [a,b) + [b,c).
-        #[test]
         fn prop_integral_additive(
-            raw in proptest::collection::vec((0u64..100, -10.0f64..10.0), 1..40),
+            raw in prop::vec((0u64..100, -10.0f64..10.0), 1..40),
             a in 0u64..120, b in 0u64..120, c in 0u64..120,
         ) {
             let mut pts: Vec<(u64, f64)> = raw;

@@ -4,10 +4,8 @@
 //! medians; Fig. 4 uses box plots), so the quantile machinery here is the
 //! primary reporting path rather than means.
 
-use serde::{Deserialize, Serialize};
-
 /// Online mean/variance accumulator (Welford's algorithm).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct OnlineStats {
     n: u64,
     mean: f64,
@@ -15,6 +13,13 @@ pub struct OnlineStats {
     min: f64,
     max: f64,
 }
+crate::impl_json_struct!(OnlineStats {
+    n,
+    mean,
+    m2,
+    min,
+    max
+});
 
 impl OnlineStats {
     /// Create an empty accumulator.
@@ -108,7 +113,7 @@ pub fn median(values: &[f64]) -> Option<f64> {
 }
 
 /// Five-number summary used for the Fig. 4 box plots.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BoxStats {
     pub min: f64,
     pub q1: f64,
@@ -118,6 +123,14 @@ pub struct BoxStats {
     /// Number of samples summarised.
     pub count: usize,
 }
+crate::impl_json_struct!(BoxStats {
+    min,
+    q1,
+    median,
+    q3,
+    max,
+    count
+});
 
 impl BoxStats {
     /// Compute the summary of a non-empty sample; `None` if empty.
@@ -145,13 +158,19 @@ impl BoxStats {
 
 /// Fixed-width histogram over `[lo, hi)` with saturating edge buckets —
 /// used for wait-time and slowdown distributions in experiment reports.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
     counts: Vec<u64>,
     total: u64,
 }
+crate::impl_json_struct!(Histogram {
+    lo,
+    hi,
+    counts,
+    total
+});
 
 impl Histogram {
     /// `buckets ≥ 1` equal-width buckets spanning `[lo, hi)`. Samples
@@ -222,7 +241,7 @@ impl Histogram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::{prop, prop_assert, prop_assert_eq, props};
 
     #[test]
     fn online_stats_matches_direct_computation() {
@@ -301,10 +320,9 @@ mod tests {
         Histogram::new(5.0, 5.0, 3);
     }
 
-    proptest! {
-        #[test]
+    props! {
         fn prop_histogram_total_matches_pushes(
-            samples in proptest::collection::vec(-100.0f64..200.0, 0..200),
+            samples in prop::vec(-100.0f64..200.0, 0..200),
         ) {
             let mut h = Histogram::new(0.0, 100.0, 7);
             for &s in &samples { h.push(s); }
@@ -312,9 +330,8 @@ mod tests {
             prop_assert_eq!(h.counts().iter().sum::<u64>(), samples.len() as u64);
         }
 
-        #[test]
         fn prop_quantiles_monotone_and_bounded(
-            mut v in proptest::collection::vec(-1e6f64..1e6, 1..100),
+            mut v in prop::vec(-1e6f64..1e6, 1..100),
             q1 in 0.0f64..1.0,
             q2 in 0.0f64..1.0,
         ) {
@@ -326,8 +343,7 @@ mod tests {
             prop_assert!(a >= v[0] - 1e-9 && b <= v[v.len() - 1] + 1e-9);
         }
 
-        #[test]
-        fn prop_online_mean_within_bounds(v in proptest::collection::vec(-1e3f64..1e3, 1..200)) {
+        fn prop_online_mean_within_bounds(v in prop::vec(-1e3f64..1e3, 1..200)) {
             let mut s = OnlineStats::new();
             for &x in &v { s.push(x); }
             prop_assert!(s.mean() >= s.min() - 1e-9 && s.mean() <= s.max() + 1e-9);

@@ -6,21 +6,18 @@
 //! schedulers can distinguish (Slurm scheduling rounds are tens of seconds)
 //! while still resolving individual I/O-stream completions.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A point in simulated time (milliseconds since simulation start).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
+crate::impl_json_newtype!(SimTime, u64);
 
 /// A span of simulated time (milliseconds).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
+crate::impl_json_newtype!(SimDuration, u64);
 
 impl SimTime {
     /// The start of the simulation.

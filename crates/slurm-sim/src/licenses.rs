@@ -9,17 +9,17 @@
 //! requirements, and profile-based reservation tracking (wired up in
 //! [`crate::policy::NodePolicy`]).
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Cluster-wide license pools: name → total available count.
 pub type LicensePools = BTreeMap<String, f64>;
 
 /// Per-job license demands.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct LicenseRequirements {
     demands: BTreeMap<String, f64>,
 }
+iosched_simkit::impl_json_struct!(LicenseRequirements { demands });
 
 impl LicenseRequirements {
     /// No licenses required.

@@ -12,7 +12,6 @@ use crate::licenses::LicenseRequirements;
 use crate::profile::ResourceProfile;
 use iosched_simkit::ids::JobId;
 use iosched_simkit::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Scheduler-visible job metadata — what the user provides at submission
 /// (paper §II): node count `n_j`, requested runtime limit `L_j`, and a job
@@ -20,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// estimates (`r_j`, `d_j`) deliberately do **not** appear here; the whole
 /// point of the paper's design is that they come from the analytics
 /// services, not the user.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SchedJob {
     pub id: JobId,
     /// Job (script) name; jobs with equal names are "similar".
@@ -40,6 +39,16 @@ pub struct SchedJob {
     /// License demands (stock Slurm countable resources; usually empty).
     pub licenses: LicenseRequirements,
 }
+iosched_simkit::impl_json_struct!(SchedJob {
+    id,
+    name,
+    nodes,
+    limit,
+    submit,
+    priority,
+    after,
+    licenses,
+});
 
 impl SchedJob {
     /// Convenience constructor for license-free jobs.
@@ -194,9 +203,7 @@ impl ReservationTracker for NodeTracker {
         let mut t = t_min;
         loop {
             let start = t;
-            t = self
-                .nodes
-                .earliest_fit(t, job.limit, job.nodes as f64);
+            t = self.nodes.earliest_fit(t, job.limit, job.nodes as f64);
             for (name, profile) in &self.licenses {
                 let amount = job.licenses.get(name);
                 if amount > 0.0 {

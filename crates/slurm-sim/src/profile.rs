@@ -60,10 +60,7 @@ impl ResourceProfile {
 
     /// Total reserved amount at time `t`.
     pub fn usage_at(&self, t: SimTime) -> f64 {
-        self.deltas
-            .range(..=t)
-            .map(|(_, &d)| d)
-            .sum()
+        self.deltas.range(..=t).map(|(_, &d)| d).sum()
     }
 
     /// Maximum reserved amount over `[start, end)`; `usage_at(start)` if
@@ -75,13 +72,10 @@ impl ResourceProfile {
         }
         let mut usage = self.usage_at(start);
         let mut max = usage;
-        for (_, &d) in self
-            .deltas
-            .range((
-                std::ops::Bound::Excluded(start),
-                std::ops::Bound::Excluded(end),
-            ))
-        {
+        for (_, &d) in self.deltas.range((
+            std::ops::Bound::Excluded(start),
+            std::ops::Bound::Excluded(end),
+        )) {
             usage += d;
             max = max.max(usage);
         }
@@ -96,12 +90,7 @@ impl ResourceProfile {
     /// ends at the last breakpoint at the latest — if even that fails, the
     /// profile's tail usage exceeds the threshold forever and
     /// [`SimTime::FAR_FUTURE`] is returned.
-    pub fn earliest_at_most(
-        &self,
-        from: SimTime,
-        dur: SimDuration,
-        threshold: f64,
-    ) -> SimTime {
+    pub fn earliest_at_most(&self, from: SimTime, dur: SimDuration, threshold: f64) -> SimTime {
         let eps = eps_for(self.capacity);
         let fits = |t: SimTime| -> bool {
             self.max_over(t, t + dur.max(SimDuration::from_millis(1))) <= threshold + eps
@@ -149,7 +138,7 @@ impl ResourceProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use iosched_simkit::{prop, prop_assert, props};
 
     fn t(s: u64) -> SimTime {
         SimTime::from_secs(s)
@@ -283,12 +272,11 @@ mod tests {
         assert_eq!(p.earliest_fit(t(0), SimDuration::ZERO, 1.0), t(10));
     }
 
-    proptest! {
+    props! {
         /// earliest_fit's result actually fits, and no earlier breakpoint-
         /// aligned candidate fits.
-        #[test]
         fn prop_earliest_fit_correct(
-            resv in proptest::collection::vec((0u64..50, 1u64..30, 0.5f64..5.0), 0..12),
+            resv in prop::vec((0u64..50, 1u64..30, 0.5f64..5.0), 0..12),
             from in 0u64..40,
             dur in 1u64..20,
             amount in 0.5f64..6.0,
@@ -317,9 +305,8 @@ mod tests {
         }
 
         /// Usage is the sum of overlapping reservations at every probe point.
-        #[test]
         fn prop_usage_matches_naive(
-            resv in proptest::collection::vec((0u64..50, 1u64..30, -3.0f64..5.0), 0..12),
+            resv in prop::vec((0u64..50, 1u64..30, -3.0f64..5.0), 0..12),
             probe in 0u64..100,
         ) {
             let mut p = ResourceProfile::new(10.0);

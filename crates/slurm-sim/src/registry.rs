@@ -8,12 +8,11 @@
 use crate::policy::{RunningView, SchedJob};
 use iosched_simkit::ids::JobId;
 use iosched_simkit::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// How the wait queue is ordered before the backfill pass (Algorithm 1,
 /// line 2: "Sort waiting jobs").
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum PriorityPolicy {
     /// First-come-first-served: submission time, then id (Slurm's default
     /// when no priority plugin reorders jobs; what the paper's
@@ -27,6 +26,11 @@ pub enum PriorityPolicy {
     /// useful for backfill studies.
     ShortestLimitFirst,
 }
+iosched_simkit::impl_json_enum!(PriorityPolicy {
+    Fifo,
+    Priority,
+    ShortestLimitFirst
+});
 
 /// Lifecycle state of a job.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -97,20 +101,23 @@ impl JobRegistry {
 
     /// Transition a pending job to running at `t`.
     pub fn mark_started(&mut self, id: JobId, t: SimTime) {
-        let e = self.jobs.get_mut(&id).unwrap_or_else(|| panic!("unknown {id}"));
+        let e = self
+            .jobs
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("unknown {id}"));
         assert_eq!(e.state, JobState::Pending, "{id} is not pending");
         e.state = JobState::Running { started: t };
     }
 
     /// Transition a running job to completed at `t`.
     pub fn mark_completed(&mut self, id: JobId, t: SimTime) {
-        let e = self.jobs.get_mut(&id).unwrap_or_else(|| panic!("unknown {id}"));
+        let e = self
+            .jobs
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("unknown {id}"));
         match e.state {
             JobState::Running { started } => {
-                e.state = JobState::Completed {
-                    started,
-                    ended: t,
-                };
+                e.state = JobState::Completed { started, ended: t };
             }
             other => panic!("{id} is not running (state {other:?})"),
         }
@@ -118,7 +125,10 @@ impl JobRegistry {
 
     /// Transition a running job to timed-out (killed at its limit) at `t`.
     pub fn mark_timed_out(&mut self, id: JobId, t: SimTime) {
-        let e = self.jobs.get_mut(&id).unwrap_or_else(|| panic!("unknown {id}"));
+        let e = self
+            .jobs
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("unknown {id}"));
         match e.state {
             JobState::Running { started } => {
                 e.state = JobState::TimedOut { started, ended: t };
@@ -134,11 +144,7 @@ impl JobRegistry {
 
     /// Pending jobs submitted at or before `now`, ordered by the given
     /// priority policy.
-    pub fn wait_queue_ordered(
-        &self,
-        now: SimTime,
-        policy: PriorityPolicy,
-    ) -> Vec<&SchedJob> {
+    pub fn wait_queue_ordered(&self, now: SimTime, policy: PriorityPolicy) -> Vec<&SchedJob> {
         let mut q: Vec<&SchedJob> = self
             .jobs
             .values()
@@ -154,9 +160,7 @@ impl JobRegistry {
             PriorityPolicy::Priority => {
                 q.sort_by_key(|j| (std::cmp::Reverse(j.priority), j.submit, j.id))
             }
-            PriorityPolicy::ShortestLimitFirst => {
-                q.sort_by_key(|j| (j.limit, j.submit, j.id))
-            }
+            PriorityPolicy::ShortestLimitFirst => q.sort_by_key(|j| (j.limit, j.submit, j.id)),
         }
         q
     }
@@ -218,9 +222,7 @@ impl JobRegistry {
             .jobs
             .values()
             .map(|e| match e.state {
-                JobState::Completed { ended, .. } | JobState::TimedOut { ended, .. } => {
-                    ended
-                }
+                JobState::Completed { ended, .. } | JobState::TimedOut { ended, .. } => ended,
                 _ => unreachable!(),
             })
             .max()
@@ -234,12 +236,13 @@ impl JobRegistry {
         self.jobs
             .iter()
             .filter_map(|(&id, e)| match e.state {
-                JobState::Completed { started, ended }
-                | JobState::TimedOut { started, ended } => Some((
-                    id,
-                    started.saturating_since(e.meta.submit),
-                    ended.saturating_since(started),
-                )),
+                JobState::Completed { started, ended } | JobState::TimedOut { started, ended } => {
+                    Some((
+                        id,
+                        started.saturating_since(e.meta.submit),
+                        ended.saturating_since(started),
+                    ))
+                }
                 _ => None,
             })
             .collect()
@@ -251,9 +254,7 @@ impl JobRegistry {
         self.jobs
             .iter()
             .filter_map(|(&id, e)| match e.state {
-                JobState::Running { started } if started + e.meta.limit <= t => {
-                    Some((id, started))
-                }
+                JobState::Running { started } if started + e.meta.limit <= t => Some((id, started)),
                 _ => None,
             })
             .collect()
@@ -327,11 +328,7 @@ mod tests {
         reg.submit(job(3, 10));
         reg.submit(job(1, 0));
         reg.submit(job(2, 0));
-        let q0: Vec<JobId> = reg
-            .wait_queue(SimTime::ZERO)
-            .iter()
-            .map(|j| j.id)
-            .collect();
+        let q0: Vec<JobId> = reg.wait_queue(SimTime::ZERO).iter().map(|j| j.id).collect();
         assert_eq!(q0, vec![JobId(1), JobId(2)]);
         let q10: Vec<JobId> = reg
             .wait_queue(SimTime::from_secs(10))
@@ -432,10 +429,7 @@ mod tests {
         reg.submit(job(1, 0));
         reg.mark_started(JobId(1), SimTime::from_secs(10));
         // Limit is 100 s → expiry at 110.
-        assert_eq!(
-            reg.next_limit_expiry(),
-            Some(SimTime::from_secs(110))
-        );
+        assert_eq!(reg.next_limit_expiry(), Some(SimTime::from_secs(110)));
         assert!(reg.overrunning(SimTime::from_secs(109)).is_empty());
         assert_eq!(
             reg.overrunning(SimTime::from_secs(110)),

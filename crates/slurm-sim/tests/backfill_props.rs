@@ -3,22 +3,22 @@
 //! invariants.
 
 use iosched_simkit::ids::JobId;
+use iosched_simkit::prop::Just;
 use iosched_simkit::time::{SimDuration, SimTime};
+use iosched_simkit::{prop, prop_assert, prop_assert_eq, prop_oneof, props};
 use iosched_slurm::policy::NodePolicy;
 use iosched_slurm::{backfill_pass, BackfillConfig, ResourceProfile, RunningView, SchedJob};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+props! {
+    #![cases(64)]
 
     /// Jobs started "now" plus already-running jobs never exceed the
     /// cluster's node count, and the full reservation plan (running +
     /// started + future reservations) never oversubscribes nodes at any
     /// instant.
-    #[test]
     fn backfill_never_oversubscribes_nodes(
-        queue_spec in proptest::collection::vec((1usize..8, 10u64..500), 1..30),
-        running_spec in proptest::collection::vec((1usize..8, 10u64..500, 0u64..100), 0..6),
+        queue_spec in prop::vec((1usize..8, 10u64..500), 1..30),
+        running_spec in prop::vec((1usize..8, 10u64..500, 0u64..100), 0..6),
         total_nodes in 8usize..20,
         backfill_max in prop_oneof![Just(1usize), Just(4), Just(usize::MAX)],
     ) {
@@ -120,9 +120,8 @@ proptest! {
     /// Work conservation: if any queued job fits in the free nodes right
     /// now (with no future reservations to respect under EASY's first
     /// reservation), the round starts at least one job.
-    #[test]
     fn backfill_starts_head_job_when_cluster_is_empty(
-        queue_spec in proptest::collection::vec((1usize..8, 10u64..500), 1..20),
+        queue_spec in prop::vec((1usize..8, 10u64..500), 1..20),
         total_nodes in 8usize..20,
     ) {
         let queue: Vec<SchedJob> = queue_spec

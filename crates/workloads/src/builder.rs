@@ -3,11 +3,10 @@
 use iosched_cluster::ExecSpec;
 use iosched_simkit::ids::JobId;
 use iosched_simkit::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// One job as submitted to the resource manager: scheduler-visible
 /// metadata plus the execution behaviour the cluster simulator runs.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct JobSubmission {
     pub id: JobId,
     /// Job name — the "similar jobs" key for the analytics.
@@ -25,6 +24,15 @@ pub struct JobSubmission {
     /// eligible.
     pub after: Vec<JobId>,
 }
+iosched_simkit::impl_json_struct!(JobSubmission {
+    id,
+    name,
+    exec,
+    limit,
+    submit,
+    priority,
+    after,
+});
 
 /// Fluent builder producing a flat, FIFO-ordered submission list.
 ///
@@ -80,13 +88,7 @@ impl WorkloadBuilder {
     }
 
     /// Append `count` identical jobs.
-    pub fn batch(
-        mut self,
-        count: usize,
-        name: &str,
-        exec: ExecSpec,
-        limit: SimDuration,
-    ) -> Self {
+    pub fn batch(mut self, count: usize, name: &str, exec: ExecSpec, limit: SimDuration) -> Self {
         exec.validate().expect("invalid exec spec in workload");
         let mut batch_ids = Vec::with_capacity(count);
         for _ in 0..count {
@@ -129,8 +131,18 @@ mod tests {
     #[test]
     fn batches_assign_sequential_ids() {
         let w = WorkloadBuilder::new()
-            .batch(3, "a", ExecSpec::sleep(SimDuration::from_secs(1)), SimDuration::from_secs(2))
-            .batch(2, "b", ExecSpec::write_xn(1, gib(1.0)), SimDuration::from_secs(5))
+            .batch(
+                3,
+                "a",
+                ExecSpec::sleep(SimDuration::from_secs(1)),
+                SimDuration::from_secs(2),
+            )
+            .batch(
+                2,
+                "b",
+                ExecSpec::write_xn(1, gib(1.0)),
+                SimDuration::from_secs(5),
+            )
             .build();
         assert_eq!(w.len(), 5);
         assert_eq!(w[0].id, JobId(0));
@@ -143,7 +155,12 @@ mod tests {
     fn waves_repeat_batches() {
         let w = WorkloadBuilder::new()
             .waves(3, |b| {
-                b.batch(2, "x", ExecSpec::sleep(SimDuration::from_secs(1)), SimDuration::from_secs(2))
+                b.batch(
+                    2,
+                    "x",
+                    ExecSpec::sleep(SimDuration::from_secs(1)),
+                    SimDuration::from_secs(2),
+                )
             })
             .build();
         assert_eq!(w.len(), 6);
@@ -152,9 +169,19 @@ mod tests {
     #[test]
     fn at_staggers_submissions() {
         let w = WorkloadBuilder::new()
-            .batch(1, "a", ExecSpec::sleep(SimDuration::from_secs(1)), SimDuration::from_secs(2))
+            .batch(
+                1,
+                "a",
+                ExecSpec::sleep(SimDuration::from_secs(1)),
+                SimDuration::from_secs(2),
+            )
             .at(SimTime::from_secs(100))
-            .batch(1, "b", ExecSpec::sleep(SimDuration::from_secs(1)), SimDuration::from_secs(2))
+            .batch(
+                1,
+                "b",
+                ExecSpec::sleep(SimDuration::from_secs(1)),
+                SimDuration::from_secs(2),
+            )
             .build();
         assert_eq!(w[0].submit, SimTime::ZERO);
         assert_eq!(w[1].submit, SimTime::from_secs(100));

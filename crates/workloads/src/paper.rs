@@ -52,8 +52,13 @@ pub fn sleep_job(params: &PaperParams) -> ExecSpec {
 pub fn workload_1(params: &PaperParams) -> Vec<JobSubmission> {
     WorkloadBuilder::new()
         .waves(8, |b| {
-            b.batch(30, &write_name(8), write_xn_job(params, 8), params.write_limit)
-                .batch(60, "sleep", sleep_job(params), params.sleep_limit)
+            b.batch(
+                30,
+                &write_name(8),
+                write_xn_job(params, 8),
+                params.write_limit,
+            )
+            .batch(60, "sleep", sleep_job(params), params.sleep_limit)
         })
         .build()
 }
@@ -63,12 +68,37 @@ pub fn workload_1(params: &PaperParams) -> Vec<JobSubmission> {
 pub fn workload_2(params: &PaperParams) -> Vec<JobSubmission> {
     WorkloadBuilder::new()
         .waves(5, |b| {
-            b.batch(30, &write_name(8), write_xn_job(params, 8), params.write_limit)
-                .batch(30, &write_name(6), write_xn_job(params, 6), params.write_limit)
-                .batch(30, &write_name(4), write_xn_job(params, 4), params.write_limit)
-                .batch(70, &write_name(2), write_xn_job(params, 2), params.write_limit)
-                .batch(120, &write_name(1), write_xn_job(params, 1), params.write_limit)
-                .batch(30, "sleep", sleep_job(params), params.sleep_limit)
+            b.batch(
+                30,
+                &write_name(8),
+                write_xn_job(params, 8),
+                params.write_limit,
+            )
+            .batch(
+                30,
+                &write_name(6),
+                write_xn_job(params, 6),
+                params.write_limit,
+            )
+            .batch(
+                30,
+                &write_name(4),
+                write_xn_job(params, 4),
+                params.write_limit,
+            )
+            .batch(
+                70,
+                &write_name(2),
+                write_xn_job(params, 2),
+                params.write_limit,
+            )
+            .batch(
+                120,
+                &write_name(1),
+                write_xn_job(params, 1),
+                params.write_limit,
+            )
+            .batch(30, "sleep", sleep_job(params), params.sleep_limit)
         })
         .build()
 }

@@ -124,8 +124,7 @@ pub fn parse_swf(text: &str, opts: &SwfOptions) -> Result<Vec<JobSubmission>, Sw
             });
         }
 
-        let nodes = ((procs as usize).div_ceil(opts.cpus_per_node))
-            .clamp(1, opts.max_nodes);
+        let nodes = ((procs as usize).div_ceil(opts.cpus_per_node)).clamp(1, opts.max_nodes);
         let run_secs = run_time as u64;
         let limit_secs = if requested > 0 {
             (requested as u64).max(run_secs)

@@ -84,8 +84,18 @@ fn main() {
     let mut lb = job(11, 1, 300);
     lb.licenses.set("lustre", 7.0);
     let lq = [&la, &lb];
-    let out = backfill_pass(&mut policy, &[], &lq, SimTime::ZERO, 16, &BackfillConfig::default());
-    show("license pool 'lustre' = 10, two jobs demanding 7 each", &out);
+    let out = backfill_pass(
+        &mut policy,
+        &[],
+        &lq,
+        SimTime::ZERO,
+        16,
+        &BackfillConfig::default(),
+    );
+    show(
+        "license pool 'lustre' = 10, two jobs demanding 7 each",
+        &out,
+    );
 
     println!("the I/O-aware scheduler (iosched-core) replaces the user-declared license");
     println!("demands with estimates from monitoring data — no user input required.");

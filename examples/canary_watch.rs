@@ -24,7 +24,13 @@ fn main() {
 
     // Background load: 4 long-running write jobs.
     for node in 0..4 {
-        fs.start_write(SimTime::ZERO, StreamTag(node as u64), node, 8, gib(10_000.0));
+        fs.start_write(
+            SimTime::ZERO,
+            StreamTag(node as u64),
+            node,
+            8,
+            gib(10_000.0),
+        );
     }
 
     println!("probing every 30 s; degrading the file system at t=600 s, restoring at t=1200 s\n");
@@ -51,7 +57,9 @@ fn main() {
         let probe_start = t;
         let mut probe_end = None;
         while probe_end.is_none() {
-            let Some(next) = fs.next_change_time() else { break };
+            let Some(next) = fs.next_change_time() else {
+                break;
+            };
             fs.advance_to(next);
             fs.take_notified();
             for (ct, _, s) in fs.take_completed() {
@@ -63,7 +71,10 @@ fn main() {
         let end = probe_end.expect("canary completes");
         let achieved = CANARY_BYTES / (end.saturating_since(probe_start)).as_secs_f64();
         let degraded = detector.record(end, achieved);
-        if tick % 4 == 0 || (540..=720).contains(&(tick * 30)) || (1170..=1320).contains(&(tick * 30)) {
+        if tick % 4 == 0
+            || (540..=720).contains(&(tick * 30))
+            || (1170..=1320).contains(&(tick * 30))
+        {
             println!(
                 "{:>6} {:>12.2} {:>10}",
                 tick * 30,

@@ -93,5 +93,7 @@ fn main() {
         );
     }
     println!("\ncheckpoint phases from different apps overlap less under the adaptive scheduler,");
-    println!("so each app's I/O phase completes faster and nodes spend less time stalled on writes.");
+    println!(
+        "so each app's I/O phase completes faster and nodes spend less time stalled on writes."
+    );
 }

@@ -32,7 +32,10 @@ fn main() {
     for node in 0..15 {
         fs.start_write(SimTime::ZERO, StreamTag(node as u64), node, 8, gib(10.0));
     }
-    println!("{:>6} {:>9} {:>9} {:>9}", "t(s)", "GiB/s", "streams", "fatigue");
+    println!(
+        "{:>6} {:>9} {:>9} {:>9}",
+        "t(s)", "GiB/s", "streams", "fatigue"
+    );
     let mut t = 0u64;
     while fs.active_stream_count() > 0 && t < 1800 {
         t += 30;

@@ -43,5 +43,7 @@ fn main() {
     println!(
         "\nworkload-adaptive scheduling finished the wave {gain:+.1}% faster than default backfill"
     );
-    println!("(the full 8-wave experiment is `cargo run --release -p iosched-experiments --bin fig3`)");
+    println!(
+        "(the full 8-wave experiment is `cargo run --release -p iosched-experiments --bin fig3`)"
+    );
 }

@@ -2,10 +2,11 @@
 //! and component RNG streams are isolated from one another.
 
 use hpc_iosched::cluster::ExecSpec;
+use hpc_iosched::experiments::figures::summary_json;
 use hpc_iosched::experiments::{run_experiment, ExperimentConfig, SchedulerKind};
 use hpc_iosched::simkit::time::SimDuration;
 use hpc_iosched::simkit::units::{gib, gibps};
-use hpc_iosched::workloads::{JobSubmission, WorkloadBuilder};
+use hpc_iosched::workloads::{workload_1, JobSubmission, PaperParams, WorkloadBuilder};
 
 fn workload() -> Vec<JobSubmission> {
     WorkloadBuilder::new()
@@ -56,6 +57,20 @@ fn identical_seeds_produce_bitwise_identical_schedules() {
         assert_eq!(p.0, q.0);
         assert_eq!(p.1.to_bits(), q.1.to_bits());
     }
+}
+
+/// The CI determinism gate: two *full* Workload 1 simulations (all 720
+/// jobs, paper-size volumes) with the same seed must produce bit-identical
+/// metric output — compared as the serialized JSON summary, so any drift
+/// in makespan, per-job times, scheduling metrics or serialization itself
+/// fails the gate. Ignored by default (several seconds even in release);
+/// `ci.sh` runs it explicitly with `--include-ignored`.
+#[test]
+#[ignore = "full-size run; executed by ci.sh in release mode"]
+fn full_workload_1_two_runs_bit_identical() {
+    let w = workload_1(&PaperParams::default());
+    let run = || summary_json(&run_experiment(&cfg(77), &w)).to_json_string();
+    assert_eq!(run(), run());
 }
 
 #[test]

@@ -214,5 +214,8 @@ fn full_workload_1_composition_survives_the_driver() {
     let res = run_experiment(&c, &w);
     assert_eq!(res.jobs.len(), 720);
     assert_eq!(res.jobs.iter().filter(|j| j.name == "sleep").count(), 480);
-    assert!(res.jobs.iter().all(|j| j.end > j.start || j.name == "sleep"));
+    assert!(res
+        .jobs
+        .iter()
+        .all(|j| j.end > j.start || j.name == "sleep"));
 }

@@ -41,5 +41,8 @@ for suite in micro fig3_workload1 fig4_throughput fig5_workload2 fig6_campaign; 
         exit 1
     }
 done
+echo "tip: compare against a stashed baseline with" \
+    "'cargo run --release --offline -p iosched-bench --bin bench_diff --" \
+    "<before.json> <after.json>' (report-only per-case deltas)"
 
 step "ci passed"

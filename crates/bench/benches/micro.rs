@@ -4,15 +4,68 @@
 
 use iosched_analytics::JobEstimator;
 use iosched_core::{AdaptiveConfig, AdaptivePolicy, EstimateBook, IoAwareConfig, IoAwarePolicy};
-use iosched_lustre::solver::{max_min_fair, Constraint};
+use iosched_lustre::solver::{max_min_fair, Constraint, IndexedSolver};
+use iosched_lustre::{FsSnapshot, LustreConfig, LustreSim, StreamTag};
 use iosched_simkit::bench::BenchSuite;
 use iosched_simkit::ids::JobId;
 use iosched_simkit::queue::EventQueue;
+use iosched_simkit::rng::SimRng;
 use iosched_simkit::time::{SimDuration, SimTime};
-use iosched_simkit::units::gibps;
+use iosched_simkit::units::{gib, gibps};
 use iosched_slurm::policy::NodePolicy;
 use iosched_slurm::{backfill_pass, BackfillConfig, ResourceProfile, SchedJob};
 use std::hint::black_box;
+
+/// The large-fleet constraint system `LustreSim` builds: `n` streams over
+/// `nodes` compute nodes × `osts` volumes, per-stream caps as singleton
+/// constraints (the reference-solver encoding), plus node, OST and fabric
+/// caps.
+fn fleet_constraints(n: usize, nodes: usize, osts: usize) -> Vec<Constraint> {
+    let mut constraints: Vec<Constraint> = (0..n)
+        .map(|i| Constraint {
+            capacity: 0.45,
+            members: vec![i],
+        })
+        .collect();
+    for node in 0..nodes {
+        constraints.push(Constraint {
+            capacity: 5.0,
+            members: (0..n).filter(|i| i % nodes == node).collect(),
+        });
+    }
+    for ost in 0..osts {
+        let members: Vec<usize> = (0..n).filter(|i| i % osts == ost).collect();
+        if !members.is_empty() {
+            constraints.push(Constraint {
+                capacity: 0.9,
+                members,
+            });
+        }
+    }
+    constraints.push(Constraint {
+        capacity: 22.0,
+        members: (0..n).collect(),
+    });
+    constraints
+}
+
+/// A file system carrying `streams_per_node × 15` active streams (stria
+/// topology: 15 nodes × 56 OSTs), volumes large enough that nothing
+/// completes while benching the recompute/snapshot/next-event paths.
+fn loaded_fs(streams_per_node: usize) -> LustreSim {
+    let cfg = LustreConfig::stria().noiseless();
+    let mut fs = LustreSim::new(cfg, SimRng::from_seed(99));
+    for node in 0..15 {
+        fs.start_write(
+            SimTime::ZERO,
+            StreamTag(node as u64),
+            node,
+            streams_per_node,
+            gib(1000.0),
+        );
+    }
+    fs
+}
 
 fn make_queue(n: usize) -> Vec<SchedJob> {
     (0..n as u64)
@@ -85,6 +138,48 @@ fn main() {
     });
     suite.bench("max_min_fair_120_streams", || {
         black_box(max_min_fair(n, &constraints));
+    });
+
+    // Large-fleet cases: ≥1k streams across 15 nodes × 56 OSTs — the
+    // regime production-scale SWF traces put the fluid model in.
+    let n_large = 1200;
+    let large = fleet_constraints(n_large, 15, 56);
+    suite.bench("max_min_fair_1200_streams/reference", || {
+        black_box(max_min_fair(n_large, &large));
+    });
+
+    // Same system through the production path: per-stream caps folded
+    // into clamps, shared constraints only, reused scratch buffers.
+    let mut indexed = IndexedSolver::new();
+    let mut members: Vec<u32> = Vec::new();
+    suite.bench("max_min_fair_1200_streams/indexed", || {
+        indexed.begin(n_large, 0.45);
+        for c in &large[n_large..] {
+            members.clear();
+            members.extend(c.members.iter().map(|&m| m as u32));
+            indexed.push_constraint(c.capacity, &members);
+        }
+        black_box(indexed.solve()[0]);
+    });
+
+    let mut fs = loaded_fs(80); // 15 × 80 = 1200 streams
+    let t0 = fs.now();
+    suite.bench("fs_recompute_1200_streams", || {
+        // `set_ost_health` at the current time with an unchanged factor is
+        // a pure rate recompute over all active streams.
+        fs.set_ost_health(t0, 0, 1.0);
+        black_box(fs.total_throughput_bps());
+    });
+    suite.bench("fs_next_change_1200_streams", || {
+        black_box(fs.next_change_time());
+    });
+    suite.bench("fs_snapshot_1200_streams", || {
+        black_box(fs.snapshot().total_bps);
+    });
+    let mut snap_buf = FsSnapshot::default();
+    suite.bench("fs_snapshot_into_1200_streams", || {
+        fs.snapshot_into(&mut snap_buf);
+        black_box(snap_buf.total_bps);
     });
 
     let jobs = make_queue(200);

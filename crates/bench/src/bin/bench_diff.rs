@@ -1,0 +1,119 @@
+//! Compare two `BENCH_*.json` files and print per-case deltas.
+//!
+//! Report-only: never fails the build, exits 0 whenever both files parse.
+//! Intended workflow — stash a baseline, make a change, re-run the bench,
+//! then:
+//!
+//! ```text
+//! bench_diff /tmp/BENCH_micro_before.json results/bench/BENCH_micro.json
+//! ```
+//!
+//! Deltas are computed on `min_ns_per_iter` (the least noise-sensitive
+//! statistic); median is shown alongside for context. A negative delta is
+//! a speedup.
+
+use iosched_simkit::json::{self, Value};
+use std::process::ExitCode;
+
+/// One benchmark case pulled out of a suite file.
+struct Case {
+    name: String,
+    min_ns: f64,
+    median_ns: f64,
+}
+
+fn load(path: &str) -> Result<(String, Vec<Case>), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let root = json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    let suite = root
+        .get("suite")
+        .and_then(Value::as_str)
+        .unwrap_or("?")
+        .to_string();
+    let benches = root
+        .get("benchmarks")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{path}: no `benchmarks` array"))?;
+    let mut cases = Vec::with_capacity(benches.len());
+    for b in benches {
+        let name = b
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{path}: benchmark without `name`"))?
+            .to_string();
+        let min_ns = b
+            .get("min_ns_per_iter")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{path}: `{name}` without `min_ns_per_iter`"))?;
+        let median_ns = b
+            .get("median_ns_per_iter")
+            .and_then(Value::as_f64)
+            .unwrap_or(min_ns);
+        cases.push(Case {
+            name,
+            min_ns,
+            median_ns,
+        });
+    }
+    Ok((suite, cases))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [before_path, after_path] = match args.as_slice() {
+        [a, b] => [a, b],
+        _ => {
+            eprintln!("usage: bench_diff <before.json> <after.json>");
+            eprintln!("  compares two BENCH_*.json suite files (report-only)");
+            return ExitCode::from(2);
+        }
+    };
+    let (before_suite, before) = match load(before_path) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (after_suite, after) = match load(after_path) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if before_suite != after_suite {
+        println!("note: comparing different suites (`{before_suite}` vs `{after_suite}`)");
+    }
+
+    println!(
+        "bench diff `{after_suite}`: {before_path} -> {after_path}\n\
+         {:<44} {:>14} {:>14} {:>9} {:>9}",
+        "name", "before min ns", "after min ns", "Δmin", "Δmedian"
+    );
+    for a in &after {
+        match before.iter().find(|b| b.name == a.name) {
+            Some(b) => {
+                let dmin = 100.0 * (a.min_ns - b.min_ns) / b.min_ns;
+                let dmed = 100.0 * (a.median_ns - b.median_ns) / b.median_ns;
+                println!(
+                    "{:<44} {:>14.1} {:>14.1} {:>+8.1}% {:>+8.1}%",
+                    a.name, b.min_ns, a.min_ns, dmin, dmed
+                );
+            }
+            None => println!(
+                "{:<44} {:>14} {:>14.1} {:>9} {:>9}",
+                a.name, "(new)", a.min_ns, "-", "-"
+            ),
+        }
+    }
+    for b in &before {
+        if !after.iter().any(|a| a.name == b.name) {
+            println!(
+                "{:<44} {:>14.1} {:>14} {:>9} {:>9}",
+                b.name, b.min_ns, "(gone)", "-", "-"
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}

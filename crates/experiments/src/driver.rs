@@ -316,6 +316,11 @@ pub fn run_experiment(cfg: &ExperimentConfig, workload: &[JobSubmission]) -> Exp
     let mut sched_requested = true;
     let mut now = SimTime::ZERO;
 
+    // Sampling buffers, reused every tick (`snapshot_into` refills them
+    // without allocating once they reach working size).
+    let mut snap = iosched_lustre::FsSnapshot::default();
+    let mut per_job: Vec<(u64, f64)> = Vec::new();
+
     let mut guard: u64 = 0;
     while !registry.all_completed() {
         guard += 1;
@@ -372,12 +377,9 @@ pub fn run_experiment(cfg: &ExperimentConfig, workload: &[JobSubmission]) -> Exp
 
         // 2. Monitoring sample.
         if now >= daemon.next_sample_at() {
-            let snap = cluster.fs().snapshot();
-            let per_job: Vec<(u64, f64)> = snap
-                .per_tag_bps
-                .iter()
-                .map(|(tag, &bps)| (tag.0, bps))
-                .collect();
+            cluster.fs().snapshot_into(&mut snap);
+            per_job.clear();
+            per_job.extend(snap.per_tag_bps.iter().map(|&(tag, bps)| (tag.0, bps)));
             daemon.sample(now, snap.total_bps, &per_job, cluster.busy_nodes());
             result.throughput_trace.push(now, snap.total_bps);
             result.nodes_trace.push(now, cluster.busy_nodes() as f64);
@@ -426,7 +428,7 @@ pub fn run_experiment(cfg: &ExperimentConfig, workload: &[JobSubmission]) -> Exp
     }
 
     // Final sample so traces extend to the end.
-    let snap = cluster.fs().snapshot();
+    cluster.fs().snapshot_into(&mut snap);
     result
         .throughput_trace
         .push(now.max(daemon.next_sample_at()), snap.total_bps);

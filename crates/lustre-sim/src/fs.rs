@@ -12,20 +12,40 @@
 //!    (internally stepping across noise epochs);
 //! 2. [`LustreSim::take_completed`] — harvest streams that finished;
 //! 3. [`LustreSim::next_change_time`] — when to wake up next.
+//!
+//! Hot-path layout: streams live in a dense slab (`Vec` + parallel id
+//! vector, `swap_remove` on completion), per-node/per-OST occupancy
+//! counts are maintained incrementally on add/remove, and rate solves go
+//! through a reusable [`IndexedSolver`] — a steady-state
+//! `recompute_rates` performs no heap allocations. The earliest pending
+//! event (completion or release crossing) is cached whenever rates
+//! change, so `next_change_time` is O(1) and the integrator does not
+//! rescan all streams per step.
 
 use crate::config::LustreConfig;
-use crate::solver::{max_min_fair, Constraint};
+use crate::solver::IndexedSolver;
 use crate::stream::{Direction, StreamId, StreamState, StreamTag};
 use iosched_simkit::rng::SimRng;
 use iosched_simkit::time::{SimDuration, SimTime};
-use std::collections::BTreeMap;
 
 /// Tolerance for "stream is finished", in bytes. A fraction of one block;
 /// avoids scheduling zero-length progress steps from float round-off.
 const DONE_EPS_BYTES: f64 = 1.0;
 
+/// Re-poll interval returned by [`LustreSim::next_change_time`] when every
+/// active stream is stalled at rate 0 and no epoch tick is pending (e.g.
+/// an OST's health driven to 0 with noise disabled). Without it the model
+/// would report `FAR_FUTURE` while streams remain active and wedge the
+/// host event loop.
+const STALL_REPOLL: SimDuration = SimDuration::from_secs(1);
+
 /// A point-in-time view of file-system load, used by the monitoring
 /// substrate to build metric samples.
+///
+/// The per-node/per-tag breakdowns are sorted vectors (ascending by key,
+/// keys unique); construction via [`LustreSim::snapshot_into`] reuses the
+/// vectors' capacity, so a sampler polling every tick allocates nothing in
+/// steady state.
 #[derive(Clone, Debug, Default)]
 pub struct FsSnapshot {
     /// Aggregate allocated rate, bytes/s.
@@ -34,12 +54,44 @@ pub struct FsSnapshot {
     pub write_bps: f64,
     /// Aggregate read rate, bytes/s.
     pub read_bps: f64,
-    /// Allocated rate per compute node index, bytes/s.
-    pub per_node_bps: BTreeMap<usize, f64>,
-    /// Allocated rate per owner tag (job), bytes/s.
-    pub per_tag_bps: BTreeMap<StreamTag, f64>,
+    /// Allocated rate per compute node index, bytes/s, sorted by node.
+    pub per_node_bps: Vec<(usize, f64)>,
+    /// Allocated rate per owner tag (job), bytes/s, sorted by tag.
+    pub per_tag_bps: Vec<(StreamTag, f64)>,
     /// Number of active streams.
     pub active_streams: usize,
+}
+
+impl FsSnapshot {
+    /// Allocated rate of `node`, if it has any active stream.
+    pub fn node_bps(&self, node: usize) -> Option<f64> {
+        self.per_node_bps
+            .binary_search_by_key(&node, |&(n, _)| n)
+            .ok()
+            .map(|i| self.per_node_bps[i].1)
+    }
+
+    /// Allocated rate of `tag`, if it has any active stream.
+    pub fn tag_bps(&self, tag: StreamTag) -> Option<f64> {
+        self.per_tag_bps
+            .binary_search_by_key(&tag, |&(t, _)| t)
+            .ok()
+            .map(|i| self.per_tag_bps[i].1)
+    }
+}
+
+/// Sum adjacent duplicate keys of a key-sorted vector in place.
+fn coalesce_sorted<K: PartialEq + Copy>(v: &mut Vec<(K, f64)>) {
+    let mut w = 0usize;
+    for r in 0..v.len() {
+        if w > 0 && v[w - 1].0 == v[r].0 {
+            v[w - 1].1 += v[r].1;
+        } else {
+            v[w] = v[r];
+            w += 1;
+        }
+    }
+    v.truncate(w);
 }
 
 /// Fluid simulation of the parallel file system.
@@ -48,7 +100,16 @@ pub struct LustreSim {
     rng: SimRng,
     now: SimTime,
     next_stream_id: u64,
-    streams: BTreeMap<StreamId, StreamState>,
+    /// Dense stream slab; `stream_ids[i]` owns `streams[i]`. Removal is
+    /// `swap_remove`, so order is maintenance order, not id order — all
+    /// per-stream iteration below is order-insensitive or re-sorted.
+    streams: Vec<StreamState>,
+    stream_ids: Vec<StreamId>,
+    /// Active-stream count per OST, maintained on add/remove.
+    ost_occ: Vec<u32>,
+    /// Active-stream count per node (grown on demand), maintained on
+    /// add/remove.
+    node_occ: Vec<u32>,
     /// Streams that reached zero remaining bytes, with their completion
     /// times, waiting to be harvested by the host.
     completed: Vec<(SimTime, StreamId, StreamState)>,
@@ -69,8 +130,20 @@ pub struct LustreSim {
     /// Start of the next epoch tick (noise resample and/or fatigue
     /// re-solve while streams are active).
     next_noise_at: SimTime,
+    /// Earliest pending stream event (completion or release crossing)
+    /// under the current rates; `FAR_FUTURE` when none. Computed by
+    /// `refresh_next_event` whenever rates change — exact until then
+    /// because rates are piecewise-constant between recomputes.
+    next_event_at: SimTime,
     /// Total bytes written since construction (ground truth, for tests).
     bytes_written_total: f64,
+    /// Reusable rate solver (scratch buffers persist across solves).
+    solver: IndexedSolver,
+    /// Scratch for the counting-sort group build in `recompute_rates`.
+    group_cursor: Vec<u32>,
+    group_members: Vec<u32>,
+    /// Scratch slab indices of streams harvested this step.
+    done_scratch: Vec<u32>,
 }
 
 impl LustreSim {
@@ -95,16 +168,24 @@ impl LustreSim {
         LustreSim {
             fatigue: vec![0.0; cfg.n_ost],
             health: vec![1.0; cfg.n_ost],
+            ost_occ: vec![0; cfg.n_ost],
             cfg,
             rng,
             now: SimTime::ZERO,
             next_stream_id: 0,
-            streams: BTreeMap::new(),
+            streams: Vec::new(),
+            stream_ids: Vec::new(),
+            node_occ: Vec::new(),
             completed: Vec::new(),
             notified: Vec::new(),
             noise,
             next_noise_at,
+            next_event_at: SimTime::FAR_FUTURE,
             bytes_written_total: 0.0,
+            solver: IndexedSolver::new(),
+            group_cursor: Vec::new(),
+            group_members: Vec::new(),
+            done_scratch: Vec::new(),
         }
     }
 
@@ -205,19 +286,22 @@ impl LustreSim {
         assert!(n_threads > 0, "a transfer needs at least one thread");
         assert!(bytes_per_thread > 0.0, "bytes_per_thread must be positive");
         self.advance_to(t);
+        if node >= self.node_occ.len() {
+            self.node_occ.resize(node + 1, 0);
+        }
         let mut ids = Vec::with_capacity(n_threads);
-        let mut occ = self.ost_occupancy();
         for _ in 0..n_threads {
             // Least-loaded of `ost_candidates` random picks (Lustre's
             // balancing object allocator); d = 1 is blind uniform choice.
+            // The maintained occupancy already includes the threads placed
+            // so far in this call.
             let mut ost = self.rng.index(self.cfg.n_ost);
             for _ in 1..self.cfg.ost_candidates {
                 let alt = self.rng.index(self.cfg.n_ost);
-                if occ[alt] < occ[ost] {
+                if self.ost_occ[alt] < self.ost_occ[ost] {
                     ost = alt;
                 }
             }
-            occ[ost] += 1;
             let id = StreamId(self.next_stream_id);
             self.next_stream_id += 1;
             let notified = release_bytes >= bytes_per_thread;
@@ -225,23 +309,33 @@ impl LustreSim {
                 // Everything fits in the buffer: release immediately.
                 self.notified.push((t.max(self.now), id, tag));
             }
-            self.streams.insert(
-                id,
-                StreamState {
-                    tag,
-                    node,
-                    ost,
-                    dir,
-                    remaining_bytes: bytes_per_thread,
-                    rate_bps: 0.0,
-                    notify_remaining: release_bytes.min(bytes_per_thread),
-                    notified,
-                },
-            );
+            self.ost_occ[ost] += 1;
+            self.node_occ[node] += 1;
+            self.stream_ids.push(id);
+            self.streams.push(StreamState {
+                tag,
+                node,
+                ost,
+                dir,
+                remaining_bytes: bytes_per_thread,
+                rate_bps: 0.0,
+                notify_remaining: release_bytes.min(bytes_per_thread),
+                notified,
+            });
             ids.push(id);
         }
         self.recompute_rates();
         ids
+    }
+
+    /// Drop the stream at slab index `idx`, keeping the occupancy counts
+    /// in sync. Returns its id and final state.
+    fn remove_stream(&mut self, idx: usize) -> (StreamId, StreamState) {
+        let s = self.streams.swap_remove(idx);
+        let id = self.stream_ids.swap_remove(idx);
+        self.ost_occ[s.ost] -= 1;
+        self.node_occ[s.node] -= 1;
+        (id, s)
     }
 
     /// Harvest release notifications (threads whose remaining volume fits
@@ -254,19 +348,19 @@ impl LustreSim {
     /// `t` first. Returns how many streams were dropped.
     pub fn cancel_tag(&mut self, t: SimTime, tag: StreamTag) -> usize {
         self.advance_to(t);
-        let victims: Vec<StreamId> = self
-            .streams
-            .iter()
-            .filter(|(_, s)| s.tag == tag)
-            .map(|(&id, _)| id)
-            .collect();
-        for id in &victims {
-            self.streams.remove(id);
+        let mut dropped = 0usize;
+        let mut idx = self.streams.len();
+        while idx > 0 {
+            idx -= 1;
+            if self.streams[idx].tag == tag {
+                self.remove_stream(idx);
+                dropped += 1;
+            }
         }
-        if !victims.is_empty() {
+        if dropped > 0 {
             self.recompute_rates();
         }
-        victims.len()
+        dropped
     }
 
     /// Integrate stream progress up to `t`, stepping across noise epochs.
@@ -301,36 +395,16 @@ impl LustreSim {
                 self.now = end.max(self.now);
                 return;
             }
-            // Earliest event (completion or release crossing) with current
-            // rates. Durations round *up* to the millisecond grid so a
-            // step always makes progress.
-            let mut first: Option<SimTime> = None;
-            for s in self.streams.values() {
-                if s.rate_bps <= 0.0 {
-                    continue;
-                }
-                // Next target for this stream: the release threshold if
-                // not yet crossed, else full completion.
-                let target = if !s.notified && s.notify_remaining > 0.0 {
-                    (s.remaining_bytes - s.notify_remaining).max(0.0)
-                } else {
-                    s.remaining_bytes
-                };
-                let secs = (target / s.rate_bps).max(0.0);
-                let ms = ((secs * 1000.0).ceil() as u64).max(1);
-                let at = self.now + SimDuration::from_millis(ms);
-                if first.is_none_or(|ft| at < ft) {
-                    first = Some(at);
-                }
-            }
-            let step_to = match first {
-                Some(at) if at <= end => at,
-                _ => end,
-            };
-            let dt = (step_to - self.now).as_secs_f64();
+            // Earliest event (completion or release crossing) under the
+            // current rates — cached at the last rate change, exact until
+            // the next one. Event times round *up* to the millisecond grid
+            // so a step always makes progress.
+            let first = self.next_event_at;
+            let step_to = if first <= end { first } else { end };
+            let dt = (step_to.saturating_since(self.now)).as_secs_f64();
             if dt > 0.0 {
                 self.update_fatigue(dt);
-                for s in self.streams.values_mut() {
+                for s in self.streams.iter_mut() {
                     // Clamp so a stream never goes negative; the residual
                     // epsilon is accounted at harvest time.
                     let moved = (s.rate_bps * dt).min(s.remaining_bytes.max(0.0));
@@ -340,41 +414,61 @@ impl LustreSim {
                 self.now = step_to;
             }
             // Release crossings: threads whose remaining volume now fits
-            // in their buffer allowance.
-            for (&id, s) in self.streams.iter_mut() {
+            // in their buffer allowance. Crossings within one instant are
+            // reported in id order (the slab is maintenance-ordered).
+            let first_note = self.notified.len();
+            for (i, s) in self.streams.iter_mut().enumerate() {
                 if !s.notified
                     && s.notify_remaining > 0.0
                     && s.remaining_bytes <= s.notify_remaining + DONE_EPS_BYTES
                 {
                     s.notified = true;
-                    self.notified.push((self.now, id, s.tag));
+                    self.notified.push((self.now, self.stream_ids[i], s.tag));
                 }
+            }
+            let released = self.notified.len() > first_note;
+            if released {
+                self.notified[first_note..].sort_unstable_by_key(|&(_, id, _)| id);
             }
 
             // Harvest everything that is (numerically) done. Because time
             // is millisecond-quantised, a completion may land a hair before
             // `step_to`; the epsilon absorbs that.
-            let done: Vec<StreamId> = self
-                .streams
-                .iter()
-                .filter(|(_, s)| s.remaining_bytes <= DONE_EPS_BYTES)
-                .map(|(&id, _)| id)
-                .collect();
-            if done.is_empty() {
+            self.done_scratch.clear();
+            for (i, s) in self.streams.iter().enumerate() {
+                if s.remaining_bytes <= DONE_EPS_BYTES {
+                    self.done_scratch.push(i as u32);
+                }
+            }
+            if self.done_scratch.is_empty() {
+                if released || (step_to == first && self.now >= first) {
+                    // A release changes its stream's next target (now the
+                    // full drain), and a cached event that fired without
+                    // harvesting anything must not be returned again:
+                    // re-derive the cache from the current state either
+                    // way (also guarantees the loop advances).
+                    self.refresh_next_event();
+                }
                 if self.now >= end {
                     return;
                 }
-                // No completion before `end` and none harvested: rates are
-                // constant until `end`, so a single step finished the span.
                 continue;
             }
-            for id in done {
-                let mut s = self.streams.remove(&id).expect("stream exists");
+            // Remove in descending slab order so `swap_remove` never
+            // disturbs a pending index; re-sort the harvested batch into
+            // id order (all share the same completion instant).
+            let first_done = self.completed.len();
+            let mut k = self.done_scratch.len();
+            while k > 0 {
+                k -= 1;
+                let idx = self.done_scratch[k] as usize;
+                let (id, mut s) = self.remove_stream(idx);
                 // Account the residual epsilon as written.
                 self.bytes_written_total += s.remaining_bytes.max(0.0);
                 s.remaining_bytes = 0.0;
                 self.completed.push((self.now, id, s));
             }
+            self.completed[first_done..].sort_unstable_by_key(|&(_, id, _)| id);
             self.recompute_rates();
         }
     }
@@ -386,79 +480,120 @@ impl LustreSim {
 
     /// When the model next needs attention: the earliest stream completion
     /// (exact, under current rates) or the next noise epoch — `None` when
-    /// no stream is active.
+    /// no stream is active. When every active stream is stalled at rate 0
+    /// and no epoch tick is pending, returns a bounded re-poll time
+    /// instead of `FAR_FUTURE` so the host loop cannot wedge.
     pub fn next_change_time(&self) -> Option<SimTime> {
         if self.streams.is_empty() {
             return None;
         }
-        let mut next = self.next_noise_at;
-        for s in self.streams.values() {
-            if s.rate_bps > 0.0 {
-                // Identical ceil-to-millisecond rounding as the integrator,
-                // so advancing to this time is guaranteed to harvest the
-                // event (release crossing or completion).
-                let target = if !s.notified && s.notify_remaining > 0.0 {
-                    (s.remaining_bytes - s.notify_remaining).max(0.0)
-                } else {
-                    s.remaining_bytes
-                };
-                let secs = (target / s.rate_bps).max(0.0);
-                let ms = ((secs * 1000.0).ceil() as u64).max(1);
-                next = next.min(self.now + SimDuration::from_millis(ms));
-            }
+        let next = self.next_noise_at.min(self.next_event_at);
+        if next >= SimTime::FAR_FUTURE {
+            return Some(self.now + STALL_REPOLL);
         }
         Some(next.max(self.now + SimDuration::from_millis(1)))
     }
 
+    /// Re-derive the cached earliest stream event from the current rates
+    /// and volumes. Uses the same ceil-to-millisecond rounding as the
+    /// integrator, so advancing to the cached time is guaranteed to
+    /// harvest the event (release crossing or completion).
+    fn refresh_next_event(&mut self) {
+        let mut first = SimTime::FAR_FUTURE;
+        for s in &self.streams {
+            if s.rate_bps <= 0.0 {
+                continue;
+            }
+            // Next target for this stream: the release threshold if not
+            // yet crossed, else full completion.
+            let target = if !s.notified && s.notify_remaining > 0.0 {
+                (s.remaining_bytes - s.notify_remaining).max(0.0)
+            } else {
+                s.remaining_bytes
+            };
+            let secs = (target / s.rate_bps).max(0.0);
+            let ms = ((secs * 1000.0).ceil() as u64).max(1);
+            let at = self.now + SimDuration::from_millis(ms);
+            if at < first {
+                first = at;
+            }
+        }
+        self.next_event_at = first;
+    }
+
     /// Recompute the max-min fair rates for all active streams.
+    ///
+    /// Constraint build is a counting sort over the incrementally
+    /// maintained occupancy tables (per-stream caps fold into the
+    /// solver's clamp, so the constraint list is O(nodes + OSTs + 1), not
+    /// O(streams)); all buffers are reused, so the steady state allocates
+    /// nothing.
     fn recompute_rates(&mut self) {
         let n = self.streams.len();
         if n == 0 {
+            self.next_event_at = SimTime::FAR_FUTURE;
             return;
         }
-        let ids: Vec<StreamId> = self.streams.keys().copied().collect();
-        let mut constraints: Vec<Constraint> = Vec::new();
+        self.solver.begin(n, self.cfg.stream_cap_bps);
 
-        // Per-stream client cap.
-        for i in 0..n {
-            constraints.push(Constraint {
-                capacity: self.cfg.stream_cap_bps,
-                members: vec![i],
-            });
+        // Group slab indices by node: cursor[g] starts at the group's
+        // base offset and ends at its end offset after placement.
+        self.group_members.clear();
+        self.group_members.resize(n, 0);
+        self.group_cursor.clear();
+        let mut acc = 0u32;
+        for &c in &self.node_occ {
+            self.group_cursor.push(acc);
+            acc += c;
         }
-        // Per-node NIC cap.
-        let mut by_node: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-        // Per-OST effective bandwidth (interference + noise).
-        let mut by_ost: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-        for (i, id) in ids.iter().enumerate() {
-            let s = &self.streams[id];
-            by_node.entry(s.node).or_default().push(i);
-            by_ost.entry(s.ost).or_default().push(i);
+        for (i, s) in self.streams.iter().enumerate() {
+            let cur = &mut self.group_cursor[s.node];
+            self.group_members[*cur as usize] = i as u32;
+            *cur += 1;
         }
-        for (_, members) in by_node {
-            constraints.push(Constraint {
-                capacity: self.cfg.node_cap_bps,
-                members,
-            });
+        for (node, &occ) in self.node_occ.iter().enumerate() {
+            if occ > 0 {
+                let end = self.group_cursor[node] as usize;
+                self.solver.push_constraint(
+                    self.cfg.node_cap_bps,
+                    &self.group_members[end - occ as usize..end],
+                );
+            }
         }
-        for (ost, members) in by_ost {
-            let m = members.len();
-            let vigor = (1.0 - self.cfg.fatigue_phi * self.fatigue[ost]) * self.health[ost];
-            constraints.push(Constraint {
-                capacity: self.cfg.ost_effective_bps(m) * self.noise[ost] * vigor,
-                members,
-            });
+
+        // Group by OST; capacity folds interference, noise, fatigue and
+        // administrative health.
+        self.group_cursor.clear();
+        let mut acc = 0u32;
+        for &c in &self.ost_occ {
+            self.group_cursor.push(acc);
+            acc += c;
         }
+        for (i, s) in self.streams.iter().enumerate() {
+            let cur = &mut self.group_cursor[s.ost];
+            self.group_members[*cur as usize] = i as u32;
+            *cur += 1;
+        }
+        for (ost, &occ) in self.ost_occ.iter().enumerate() {
+            if occ > 0 {
+                let m = occ as usize;
+                let vigor = (1.0 - self.cfg.fatigue_phi * self.fatigue[ost]) * self.health[ost];
+                let end = self.group_cursor[ost] as usize;
+                self.solver.push_constraint(
+                    self.cfg.ost_effective_bps(m) * self.noise[ost] * vigor,
+                    &self.group_members[end - m..end],
+                );
+            }
+        }
+
         // Fabric cap over everything.
-        constraints.push(Constraint {
-            capacity: self.cfg.fabric_cap_bps,
-            members: (0..n).collect(),
-        });
+        self.solver.push_constraint_all(self.cfg.fabric_cap_bps);
 
-        let rates = max_min_fair(n, &constraints);
-        for (i, id) in ids.iter().enumerate() {
-            self.streams.get_mut(id).expect("stream exists").rate_bps = rates[i];
+        let rates = self.solver.solve();
+        for (i, s) in self.streams.iter_mut().enumerate() {
+            s.rate_bps = rates[i];
         }
+        self.refresh_next_event();
     }
 
     fn resample_noise(&mut self) {
@@ -477,11 +612,10 @@ impl LustreSim {
         if self.cfg.fatigue_phi == 0.0 {
             return;
         }
-        let occ = self.ost_occupancy();
         let up = (-dt_secs / self.cfg.fatigue_tau_up.as_secs_f64()).exp();
         let down = (-dt_secs / self.cfg.fatigue_tau_down.as_secs_f64()).exp();
         for (ost, f) in self.fatigue.iter_mut().enumerate() {
-            if occ[ost] >= self.cfg.fatigue_threshold {
+            if self.ost_occ[ost] as usize >= self.cfg.fatigue_threshold {
                 *f = 1.0 - (1.0 - *f) * up;
             } else {
                 *f *= down;
@@ -514,7 +648,7 @@ impl LustreSim {
     /// Aggregate allocated rate right now, bytes/s.
     pub fn total_throughput_bps(&self) -> f64 {
         self.streams
-            .values()
+            .iter()
             .map(|s| s.rate_bps)
             .sum::<f64>()
             .max(0.0)
@@ -532,29 +666,39 @@ impl LustreSim {
 
     /// Snapshot of current load for the monitoring substrate.
     pub fn snapshot(&self) -> FsSnapshot {
-        let mut snap = FsSnapshot {
-            active_streams: self.streams.len(),
-            ..FsSnapshot::default()
-        };
-        for s in self.streams.values() {
-            snap.total_bps += s.rate_bps;
-            match s.dir {
-                Direction::Write => snap.write_bps += s.rate_bps,
-                Direction::Read => snap.read_bps += s.rate_bps,
-            }
-            *snap.per_node_bps.entry(s.node).or_insert(0.0) += s.rate_bps;
-            *snap.per_tag_bps.entry(s.tag).or_insert(0.0) += s.rate_bps;
-        }
+        let mut snap = FsSnapshot::default();
+        self.snapshot_into(&mut snap);
         snap
+    }
+
+    /// Fill `out` with a snapshot of current load, reusing its buffers.
+    /// A sampler that keeps one `FsSnapshot` across ticks performs no
+    /// allocations here once the vectors have grown to working size.
+    pub fn snapshot_into(&self, out: &mut FsSnapshot) {
+        out.total_bps = 0.0;
+        out.write_bps = 0.0;
+        out.read_bps = 0.0;
+        out.active_streams = self.streams.len();
+        out.per_node_bps.clear();
+        out.per_tag_bps.clear();
+        for s in &self.streams {
+            out.total_bps += s.rate_bps;
+            match s.dir {
+                Direction::Write => out.write_bps += s.rate_bps,
+                Direction::Read => out.read_bps += s.rate_bps,
+            }
+            out.per_node_bps.push((s.node, s.rate_bps));
+            out.per_tag_bps.push((s.tag, s.rate_bps));
+        }
+        out.per_node_bps.sort_unstable_by_key(|&(n, _)| n);
+        coalesce_sorted(&mut out.per_node_bps);
+        out.per_tag_bps.sort_unstable_by_key(|&(t, _)| t);
+        coalesce_sorted(&mut out.per_tag_bps);
     }
 
     /// Number of active streams per OST (diagnostics / tests).
     pub fn ost_occupancy(&self) -> Vec<usize> {
-        let mut occ = vec![0usize; self.cfg.n_ost];
-        for s in self.streams.values() {
-            occ[s.ost] += 1;
-        }
-        occ
+        self.ost_occ.iter().map(|&c| c as usize).collect()
     }
 }
 
@@ -739,8 +883,8 @@ mod tests {
         assert_eq!(fs.cancel_tag(SimTime::from_secs(1), StreamTag(1)), 4);
         assert_eq!(fs.active_stream_count(), 4);
         let snap = fs.snapshot();
-        assert!(snap.per_tag_bps.contains_key(&StreamTag(2)));
-        assert!(!snap.per_tag_bps.contains_key(&StreamTag(1)));
+        assert!(snap.tag_bps(StreamTag(2)).is_some());
+        assert!(snap.tag_bps(StreamTag(1)).is_none());
     }
 
     #[test]
@@ -749,12 +893,21 @@ mod tests {
         fs.start_write(SimTime::ZERO, StreamTag(1), 0, 4, gib(10.0));
         fs.start_write(SimTime::ZERO, StreamTag(2), 1, 4, gib(10.0));
         let snap = fs.snapshot();
-        let per_node: f64 = snap.per_node_bps.values().sum();
-        let per_tag: f64 = snap.per_tag_bps.values().sum();
+        let per_node: f64 = snap.per_node_bps.iter().map(|&(_, v)| v).sum();
+        let per_tag: f64 = snap.per_tag_bps.iter().map(|&(_, v)| v).sum();
         assert!((snap.total_bps - per_node).abs() < 1e-6);
         assert!((snap.total_bps - per_tag).abs() < 1e-6);
         assert_eq!(snap.active_streams, 8);
         assert_eq!(fs.ost_occupancy().iter().sum::<usize>(), 8);
+        // Breakdown keys are unique and sorted.
+        assert_eq!(snap.per_node_bps.len(), 2);
+        assert_eq!(snap.per_tag_bps.len(), 2);
+        assert!(snap.per_node_bps[0].0 < snap.per_node_bps[1].0);
+        // Buffer reuse fills the same values.
+        let mut reused = FsSnapshot::default();
+        fs.snapshot_into(&mut reused);
+        assert_eq!(reused.per_node_bps, snap.per_node_bps);
+        assert_eq!(reused.per_tag_bps, snap.per_tag_bps);
     }
 
     #[test]
@@ -774,6 +927,38 @@ mod tests {
         // Restore.
         fs.set_ost_health(SimTime::from_secs(20), 0, 1.0);
         assert!((fs.total_throughput_bps() - nominal).abs() < 1.0);
+    }
+
+    #[test]
+    fn stalled_streams_repoll_instead_of_wedging() {
+        // Regression: with noise epochs disabled, driving the only OST's
+        // health to 0 used to make `next_change_time` report `FAR_FUTURE`
+        // while the stream stayed active — the host loop wedged forever.
+        let mut cfg = quiet_cfg().without_fatigue(); // no epoch ticks at all
+        cfg.n_ost = 1;
+        let mut fs = sim(cfg);
+        fs.start_write(SimTime::ZERO, StreamTag(1), 0, 1, gib(10.0));
+        fs.set_ost_health(SimTime::from_secs(1), 0, 0.0);
+        assert_eq!(fs.total_throughput_bps(), 0.0);
+        let t = fs.next_change_time().expect("stream still active");
+        assert!(
+            t > fs.now() && t <= fs.now() + SimDuration::from_secs(2),
+            "expected a bounded re-poll time, got {t}"
+        );
+        // Advancing there makes no progress but keeps the loop live.
+        fs.advance_to(t);
+        assert_eq!(fs.active_stream_count(), 1);
+        // Restoring health lets the stream drain to completion.
+        fs.set_ost_health(fs.now() + SimDuration::from_secs(1), 0, 1.0);
+        let mut done = 0;
+        let mut guard = 0;
+        while let Some(t) = fs.next_change_time() {
+            fs.advance_to(t);
+            done += fs.take_completed().len();
+            guard += 1;
+            assert!(guard < 100, "no progress after health restore");
+        }
+        assert_eq!(done, 1);
     }
 
     #[test]

@@ -6,46 +6,64 @@
 //! current level and filling continues for the rest. The result is the
 //! unique max-min fair allocation — the standard fluid approximation for
 //! bandwidth sharing in storage/network fabrics.
+//!
+//! Two implementations live here:
+//!
+//! * [`max_min_fair`] — the simple reference implementation (kept as the
+//!   test oracle and for before/after benchmarking). O(rounds × flows ×
+//!   constraints) with linear member scans; allocates freely.
+//! * [`IndexedSolver`] — the production solver used by
+//!   [`crate::LustreSim`]. Per-flow rate caps are folded into a plain
+//!   clamp instead of singleton constraints, flow→constraint adjacency is
+//!   indexed once per solve, and every buffer is reused across solves, so
+//!   a steady-state solve performs no heap allocations.
 
 /// A capacity constraint over a set of flows (indices into the flow list).
 #[derive(Clone, Debug)]
 pub struct Constraint {
     /// Total capacity shared by the member flows (≥ 0).
     pub capacity: f64,
-    /// Indices of the flows subject to this constraint.
+    /// Indices of the flows subject to this constraint. Duplicates are
+    /// tolerated and count once.
     pub members: Vec<usize>,
 }
 
-/// Compute the max-min fair rates for `n_flows` flows under `constraints`.
+/// Relative saturation tolerance: a constraint is considered saturated
+/// once its residual falls to `EPS · max(capacity, 1)`.
+const EPS: f64 = 1e-9;
+
+/// Compute the max-min fair rates for `n_flows` flows under `constraints`
+/// (reference implementation — see [`IndexedSolver`] for the fast path).
 ///
-/// Every flow must be covered by at least one finite constraint, otherwise
-/// its rate would be unbounded — in debug builds this is asserted.
-/// Returns one rate per flow.
+/// A flow covered by no finite constraint is *released*: it freezes at the
+/// level reached when no constraint applies to the remaining flows any
+/// more. Duplicate members within one constraint are deduplicated on
+/// entry. Returns one rate per flow.
 pub fn max_min_fair(n_flows: usize, constraints: &[Constraint]) -> Vec<f64> {
     let mut rate = vec![0.0_f64; n_flows];
     if n_flows == 0 {
         return rate;
     }
 
-    #[cfg(debug_assertions)]
-    {
-        let mut covered = vec![false; n_flows];
-        for c in constraints {
-            for &m in &c.members {
-                covered[m] = true;
-            }
-        }
-        debug_assert!(
-            covered.iter().all(|&c| c),
-            "every flow must be covered by a constraint"
-        );
-    }
+    // Dedup members on entry: a flow listed twice in one constraint must
+    // count once toward both capacity consumption and the unfrozen count,
+    // otherwise the residual math is skewed (the count would start at 2
+    // but be decremented once at freeze time).
+    let members: Vec<Vec<usize>> = constraints
+        .iter()
+        .map(|c| {
+            let mut m = c.members.clone();
+            m.sort_unstable();
+            m.dedup();
+            m
+        })
+        .collect();
 
     let mut frozen = vec![false; n_flows];
     // Per-constraint bookkeeping: remaining capacity after frozen members,
     // and number of unfrozen members.
     let mut residual: Vec<f64> = constraints.iter().map(|c| c.capacity.max(0.0)).collect();
-    let mut unfrozen_count: Vec<usize> = constraints.iter().map(|c| c.members.len()).collect();
+    let mut unfrozen_count: Vec<usize> = members.iter().map(|m| m.len()).collect();
 
     let mut level = 0.0_f64;
     let mut remaining_flows = n_flows;
@@ -56,7 +74,7 @@ pub fn max_min_fair(n_flows: usize, constraints: &[Constraint]) -> Vec<f64> {
         // where residual_c already accounts for frozen members and the
         // *current* level consumed by unfrozen members.
         let mut next_level = f64::INFINITY;
-        for (ci, c) in constraints.iter().enumerate() {
+        for (ci, _) in constraints.iter().enumerate() {
             if unfrozen_count[ci] == 0 {
                 continue;
             }
@@ -64,12 +82,10 @@ pub fn max_min_fair(n_flows: usize, constraints: &[Constraint]) -> Vec<f64> {
             if candidate < next_level {
                 next_level = candidate;
             }
-            let _ = c;
         }
         if !next_level.is_finite() {
-            // No finite constraint applies to the remaining flows; freeze
-            // them at the current level (can only happen in release builds
-            // with uncovered flows).
+            // No finite constraint applies to the remaining flows; release
+            // them at the current level.
             for f in 0..n_flows {
                 if !frozen[f] {
                     rate[f] = level;
@@ -88,8 +104,8 @@ pub fn max_min_fair(n_flows: usize, constraints: &[Constraint]) -> Vec<f64> {
         // Freeze members of all (numerically) saturated constraints.
         let mut to_freeze: Vec<usize> = Vec::new();
         for (ci, c) in constraints.iter().enumerate() {
-            if unfrozen_count[ci] > 0 && residual[ci] <= 1e-9 * c.capacity.max(1.0) {
-                for &m in &c.members {
+            if unfrozen_count[ci] > 0 && residual[ci] <= EPS * c.capacity.max(1.0) {
+                for &m in &members[ci] {
                     if !frozen[m] {
                         to_freeze.push(m);
                     }
@@ -108,8 +124,8 @@ pub fn max_min_fair(n_flows: usize, constraints: &[Constraint]) -> Vec<f64> {
             remaining_flows -= 1;
             // Remove this flow from every constraint's unfrozen set; its
             // consumption at `level` is already reflected in `residual`.
-            for (ci, c) in constraints.iter().enumerate() {
-                if c.members.contains(&f) {
+            for (ci, m) in members.iter().enumerate() {
+                if m.contains(&f) {
                     unfrozen_count[ci] -= 1;
                 }
             }
@@ -117,6 +133,246 @@ pub fn max_min_fair(n_flows: usize, constraints: &[Constraint]) -> Vec<f64> {
     }
 
     rate
+}
+
+/// Indexed progressive-filling solver with reusable scratch buffers.
+///
+/// Usage per solve: [`IndexedSolver::begin`], then any number of
+/// [`IndexedSolver::set_cap`] / [`IndexedSolver::push_constraint`] /
+/// [`IndexedSolver::push_constraint_all`] calls, then
+/// [`IndexedSolver::solve`]. All internal buffers retain their capacity
+/// across solves, so repeated solves of similar size allocate nothing.
+///
+/// Differences from the reference encoding:
+///
+/// * per-flow rate caps are a plain clamp (`set_cap`), not singleton
+///   constraints — the constraint list stays O(shared resources);
+/// * flow→constraint adjacency is built once per solve, so freezing a
+///   flow costs O(its constraint count) instead of a scan over every
+///   constraint's member list;
+/// * iteration order is fixed (flow index, then constraint index), so
+///   results are deterministic and no float summation is reordered
+///   between runs.
+#[derive(Default)]
+pub struct IndexedSolver {
+    n_flows: usize,
+    /// Per-flow rate clamp (≥ 0; `INFINITY` = uncapped).
+    cap: Vec<f64>,
+    /// Constraint capacities.
+    con_cap: Vec<f64>,
+    /// Concatenated (deduplicated) member lists.
+    members: Vec<u32>,
+    /// `con_start[c]..con_start[c+1]` delimits constraint `c`'s members.
+    con_start: Vec<u32>,
+    /// Flow→constraint adjacency (CSR, built by `solve`).
+    flow_start: Vec<u32>,
+    flow_cons: Vec<u32>,
+    /// Per-flow scratch: dedup stamps during building, then placement
+    /// cursors during the adjacency build.
+    stamp: Vec<u32>,
+    residual: Vec<f64>,
+    unfrozen: Vec<u32>,
+    frozen: Vec<bool>,
+    rate: Vec<f64>,
+    /// Flow indices sorted by cap ascending.
+    cap_order: Vec<u32>,
+    to_freeze: Vec<u32>,
+}
+
+impl IndexedSolver {
+    /// A solver with empty scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start a new system of `n_flows` flows, every flow clamped at
+    /// `default_cap` (use `f64::INFINITY` for uncapped).
+    pub fn begin(&mut self, n_flows: usize, default_cap: f64) {
+        self.n_flows = n_flows;
+        self.cap.clear();
+        self.cap.resize(n_flows, default_cap.max(0.0));
+        self.con_cap.clear();
+        self.members.clear();
+        self.con_start.clear();
+        self.con_start.push(0);
+        self.stamp.clear();
+        self.stamp.resize(n_flows, 0);
+    }
+
+    /// Clamp `flow`'s rate at `cap` (tightest clamp wins). NaN is not a
+    /// cap.
+    pub fn set_cap(&mut self, flow: usize, cap: f64) {
+        debug_assert!(!cap.is_nan(), "cap must not be NaN");
+        let c = &mut self.cap[flow];
+        *c = c.min(cap.max(0.0));
+    }
+
+    /// Add a shared-capacity constraint over `member_flows`. Duplicate
+    /// members are deduplicated; out-of-range members are a logic error.
+    pub fn push_constraint(&mut self, capacity: f64, member_flows: &[u32]) {
+        let id = self.con_cap.len() as u32;
+        self.con_cap.push(capacity);
+        for &m in member_flows {
+            debug_assert!((m as usize) < self.n_flows, "member out of range");
+            // Stamp with id+1 so a fresh `begin` (stamps zeroed) never
+            // aliases constraint 0.
+            if self.stamp[m as usize] != id + 1 {
+                self.stamp[m as usize] = id + 1;
+                self.members.push(m);
+            }
+        }
+        self.con_start.push(self.members.len() as u32);
+    }
+
+    /// Add a constraint covering every flow (e.g. a fabric-wide cap).
+    pub fn push_constraint_all(&mut self, capacity: f64) {
+        self.con_cap.push(capacity);
+        self.members.extend(0..self.n_flows as u32);
+        self.con_start.push(self.members.len() as u32);
+    }
+
+    /// Run progressive filling; returns one rate per flow. Flows covered
+    /// by no finite constraint and no finite cap are released at the last
+    /// finite level (0 if none).
+    pub fn solve(&mut self) -> &[f64] {
+        let n = self.n_flows;
+        let n_cons = self.con_cap.len();
+        self.rate.clear();
+        self.rate.resize(n, 0.0);
+        if n == 0 {
+            return &self.rate;
+        }
+
+        // Flow→constraint adjacency by counting sort: degree count,
+        // prefix sum, then placement (reusing `stamp` as the cursor).
+        self.flow_start.clear();
+        self.flow_start.resize(n + 1, 0);
+        for &m in &self.members {
+            self.flow_start[m as usize + 1] += 1;
+        }
+        for f in 0..n {
+            self.flow_start[f + 1] += self.flow_start[f];
+        }
+        self.stamp.clear();
+        self.stamp.extend_from_slice(&self.flow_start[..n]);
+        self.flow_cons.clear();
+        self.flow_cons.resize(self.members.len(), 0);
+        for c in 0..n_cons {
+            for i in self.con_start[c] as usize..self.con_start[c + 1] as usize {
+                let m = self.members[i] as usize;
+                self.flow_cons[self.stamp[m] as usize] = c as u32;
+                self.stamp[m] += 1;
+            }
+        }
+
+        self.residual.clear();
+        self.residual
+            .extend(self.con_cap.iter().map(|c| c.max(0.0)));
+        self.unfrozen.clear();
+        self.unfrozen
+            .extend((0..n_cons).map(|c| self.con_start[c + 1] - self.con_start[c]));
+        self.frozen.clear();
+        self.frozen.resize(n, false);
+        self.cap_order.clear();
+        self.cap_order.extend(0..n as u32);
+        let caps = &self.cap;
+        self.cap_order.sort_unstable_by(|&a, &b| {
+            caps[a as usize]
+                .partial_cmp(&caps[b as usize])
+                .expect("caps are not NaN")
+        });
+
+        let mut level = 0.0_f64;
+        let mut remaining = n;
+        let mut cap_ptr = 0usize;
+
+        while remaining > 0 {
+            // Next saturation level across constraints…
+            let mut next_level = f64::INFINITY;
+            for c in 0..n_cons {
+                if self.unfrozen[c] > 0 {
+                    let candidate = level + self.residual[c] / self.unfrozen[c] as f64;
+                    if candidate < next_level {
+                        next_level = candidate;
+                    }
+                }
+            }
+            // …and across per-flow caps (the folded singleton
+            // constraints): the smallest unfrozen cap.
+            while cap_ptr < n && self.frozen[self.cap_order[cap_ptr] as usize] {
+                cap_ptr += 1;
+            }
+            if cap_ptr < n {
+                next_level = next_level.min(self.cap[self.cap_order[cap_ptr] as usize]);
+            }
+
+            if !next_level.is_finite() {
+                // Release: nothing finite applies to the remaining flows.
+                for f in 0..n {
+                    if !self.frozen[f] {
+                        self.rate[f] = level;
+                    }
+                }
+                break;
+            }
+
+            let delta = (next_level - level).max(0.0);
+            for c in 0..n_cons {
+                if self.unfrozen[c] > 0 {
+                    self.residual[c] -= delta * self.unfrozen[c] as f64;
+                }
+            }
+            level = next_level;
+
+            self.to_freeze.clear();
+            // Members of saturated constraints…
+            for c in 0..n_cons {
+                if self.unfrozen[c] > 0 && self.residual[c] <= EPS * self.con_cap[c].max(1.0) {
+                    for i in self.con_start[c] as usize..self.con_start[c + 1] as usize {
+                        let m = self.members[i];
+                        if !self.frozen[m as usize] {
+                            self.to_freeze.push(m);
+                        }
+                    }
+                }
+            }
+            // …and flows whose cap the level just reached.
+            while cap_ptr < n {
+                let f = self.cap_order[cap_ptr] as usize;
+                if self.frozen[f] {
+                    cap_ptr += 1;
+                } else if self.cap[f] <= level {
+                    self.to_freeze.push(f as u32);
+                    cap_ptr += 1;
+                } else {
+                    break;
+                }
+            }
+            debug_assert!(
+                !self.to_freeze.is_empty(),
+                "progressive filling must freeze at least one flow per round"
+            );
+            self.to_freeze.sort_unstable();
+            self.to_freeze.dedup();
+            for i in 0..self.to_freeze.len() {
+                let f = self.to_freeze[i] as usize;
+                if self.frozen[f] {
+                    continue;
+                }
+                self.frozen[f] = true;
+                self.rate[f] = level.min(self.cap[f]);
+                remaining -= 1;
+                // O(deg(f)) unfreeze bookkeeping via the adjacency index —
+                // this is what replaces the reference's scan over every
+                // constraint's member list.
+                for a in self.flow_start[f] as usize..self.flow_start[f + 1] as usize {
+                    self.unfrozen[self.flow_cons[a] as usize] -= 1;
+                }
+            }
+        }
+
+        &self.rate
+    }
 }
 
 #[cfg(test)]
@@ -131,9 +387,32 @@ mod tests {
         }
     }
 
+    /// Solve the same system with the indexed solver, encoding singleton
+    /// constraints as caps and everything else as shared constraints.
+    fn solve_indexed(
+        n_flows: usize,
+        caps: &[(usize, f64)],
+        constraints: &[Constraint],
+    ) -> Vec<f64> {
+        let mut s = IndexedSolver::new();
+        s.begin(n_flows, f64::INFINITY);
+        for &(f, cap) in caps {
+            s.set_cap(f, cap);
+        }
+        let mut buf: Vec<u32> = Vec::new();
+        for con in constraints {
+            buf.clear();
+            buf.extend(con.members.iter().map(|&m| m as u32));
+            s.push_constraint(con.capacity, &buf);
+        }
+        s.solve().to_vec()
+    }
+
     #[test]
     fn single_constraint_splits_evenly() {
         let rates = max_min_fair(4, &[c(8.0, &[0, 1, 2, 3])]);
+        assert_eq!(rates, vec![2.0; 4]);
+        let rates = solve_indexed(4, &[], &[c(8.0, &[0, 1, 2, 3])]);
         assert_eq!(rates, vec![2.0; 4]);
     }
 
@@ -153,6 +432,15 @@ mod tests {
         assert!((rates[0] - 1.0).abs() < 1e-9);
         assert!((rates[1] - 4.5).abs() < 1e-9);
         assert!((rates[2] - 4.5).abs() < 1e-9);
+
+        let rates = solve_indexed(
+            3,
+            &[(0, 1.0), (1, 100.0), (2, 100.0)],
+            &[c(10.0, &[0, 1, 2])],
+        );
+        assert!((rates[0] - 1.0).abs() < 1e-9);
+        assert!((rates[1] - 4.5).abs() < 1e-9);
+        assert!((rates[2] - 4.5).abs() < 1e-9);
     }
 
     #[test]
@@ -161,10 +449,15 @@ mod tests {
         // C(2) on link2. link1 cap 10, link2 cap 4.
         // Fair: level rises to 2 → link2 saturates, freezes A and C at 2;
         // B continues to 10-2=8.
-        let rates = max_min_fair(3, &[c(10.0, &[0, 1]), c(4.0, &[0, 2])]);
-        assert!((rates[0] - 2.0).abs() < 1e-9);
-        assert!((rates[2] - 2.0).abs() < 1e-9);
-        assert!((rates[1] - 8.0).abs() < 1e-9);
+        let constraints = [c(10.0, &[0, 1]), c(4.0, &[0, 2])];
+        for rates in [
+            max_min_fair(3, &constraints),
+            solve_indexed(3, &[], &constraints),
+        ] {
+            assert!((rates[0] - 2.0).abs() < 1e-9);
+            assert!((rates[2] - 2.0).abs() < 1e-9);
+            assert!((rates[1] - 8.0).abs() < 1e-9);
+        }
     }
 
     #[test]
@@ -172,19 +465,73 @@ mod tests {
         let rates = max_min_fair(2, &[c(0.0, &[0]), c(5.0, &[0, 1])]);
         assert_eq!(rates[0], 0.0);
         assert!((rates[1] - 5.0).abs() < 1e-9);
+        let rates = solve_indexed(2, &[(0, 0.0)], &[c(5.0, &[0, 1])]);
+        assert_eq!(rates[0], 0.0);
+        assert!((rates[1] - 5.0).abs() < 1e-9);
     }
 
     #[test]
     fn empty_input() {
         assert!(max_min_fair(0, &[]).is_empty());
+        assert!(solve_indexed(0, &[], &[]).is_empty());
     }
 
     #[test]
-    fn duplicate_membership_is_tolerated() {
-        // A flow listed twice in one constraint counts twice toward its
-        // consumption — callers do not do this, but it must not loop.
-        let rates = max_min_fair(1, &[c(4.0, &[0])]);
+    fn duplicate_members_count_once() {
+        // Regression: a flow listed twice in one constraint used to
+        // inflate `unfrozen_count` by 2 while being decremented once at
+        // freeze time, skewing the residual split for the others.
+        let dup = [
+            Constraint {
+                capacity: 9.0,
+                members: vec![0, 0, 1, 2],
+            },
+            c(100.0, &[0]),
+            c(100.0, &[1]),
+            c(100.0, &[2]),
+        ];
+        let rates = max_min_fair(3, &dup);
+        for r in &rates {
+            assert!((r - 3.0).abs() < 1e-9, "even three-way split: {rates:?}");
+        }
+        let rates = solve_indexed(
+            3,
+            &[],
+            &[Constraint {
+                capacity: 9.0,
+                members: vec![0, 0, 1, 2],
+            }],
+        );
+        for r in &rates {
+            assert!((r - 3.0).abs() < 1e-9, "even three-way split: {rates:?}");
+        }
+    }
+
+    #[test]
+    fn uncovered_flows_release_at_last_level() {
+        // Flow 1 is covered by nothing finite: it freezes at the level
+        // reached when every covered flow froze (4.0 here).
+        let rates = max_min_fair(2, &[c(4.0, &[0])]);
         assert!((rates[0] - 4.0).abs() < 1e-9);
+        assert!((rates[1] - 4.0).abs() < 1e-9);
+        let rates = solve_indexed(2, &[], &[c(4.0, &[0])]);
+        assert!((rates[0] - 4.0).abs() < 1e-9);
+        assert!((rates[1] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn indexed_solver_reuses_buffers_across_solves() {
+        let mut s = IndexedSolver::new();
+        for round in 0..3u32 {
+            s.begin(4, 2.0 + round as f64);
+            s.push_constraint(40.0, &[0, 1]);
+            s.push_constraint_all(100.0);
+            let rates = s.solve();
+            assert_eq!(rates.len(), 4);
+            for &r in rates {
+                assert!((r - (2.0 + round as f64)).abs() < 1e-9);
+            }
+        }
     }
 
     props! {
@@ -226,6 +573,62 @@ mod tests {
                     }
                 });
                 prop_assert!(has_tight, "flow {f} has headroom everywhere");
+            }
+        }
+
+        /// The indexed solver matches the reference oracle on randomized
+        /// systems with duplicate members, zero capacities, per-flow caps
+        /// and (optionally) uncovered flows.
+        fn prop_indexed_matches_reference(
+            n_flows in 1usize..24,
+            n_cons in 0usize..8,
+            seed in 0u64..4000,
+        ) {
+            let mut s = seed;
+            let mut next = || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (s >> 33) as usize
+            };
+
+            // Random shared constraints; members may repeat (dup case)
+            // and flows may end up uncovered (release case).
+            let mut constraints: Vec<Constraint> = Vec::new();
+            for _ in 0..n_cons {
+                let len = 1 + next() % (n_flows * 2);
+                let members: Vec<usize> = (0..len).map(|_| next() % n_flows).collect();
+                // Mix of zero and positive capacities.
+                let capacity = match next() % 8 {
+                    0 => 0.0,
+                    k => (k * (1 + next() % 25)) as f64 / 4.0,
+                };
+                constraints.push(Constraint { capacity, members });
+            }
+            // Per-flow caps on a random subset of flows. Uncapped +
+            // uncovered flows exercise the release path in both solvers.
+            let mut caps: Vec<(usize, f64)> = Vec::new();
+            for f in 0..n_flows {
+                if next() % 3 != 0 {
+                    caps.push((f, (next() % 400) as f64 / 10.0));
+                }
+            }
+
+            // Reference encoding: caps become singleton constraints.
+            let mut ref_constraints = constraints.clone();
+            for &(f, cap) in &caps {
+                ref_constraints.push(Constraint { capacity: cap, members: vec![f] });
+            }
+
+            let expect = max_min_fair(n_flows, &ref_constraints);
+            let got = solve_indexed(n_flows, &caps, &constraints);
+
+            for f in 0..n_flows {
+                let tol = 1e-9 * expect[f].abs().max(1.0);
+                prop_assert!(
+                    (expect[f] - got[f]).abs() <= tol,
+                    "flow {f}: reference {} vs indexed {} (tol {tol})",
+                    expect[f],
+                    got[f]
+                );
             }
         }
     }

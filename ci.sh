@@ -31,8 +31,22 @@ cargo test -q --workspace --offline
 step "determinism gate: two full Workload 1 runs, bit-identical output"
 cargo test --release --offline --test determinism -- --include-ignored
 
+step "bench gate: micro suite within 2x of the committed baseline"
+# Stash the committed full-mode baseline before any bench run overwrites
+# it, re-measure, gate on >2x min-ns regressions, then restore the
+# baseline so CI leaves the tree clean. (Refresh the baseline with
+# 'cargo bench -p iosched-bench --bench micro' when a change is supposed
+# to shift performance.)
+micro_baseline="$(mktemp)"
+cp results/bench/BENCH_micro.json "$micro_baseline"
+cargo bench --offline -p iosched-bench --bench micro
+cargo run --release --offline -p iosched-bench --bin bench_diff -- \
+    --gate 2.0 "$micro_baseline" results/bench/BENCH_micro.json
+cp "$micro_baseline" results/bench/BENCH_micro.json
+rm -f "$micro_baseline"
+
 step "bench smoke (emits results/bench/BENCH_*.json)"
-for suite in micro fig3_workload1 fig4_throughput fig5_workload2 fig6_campaign; do
+for suite in fig3_workload1 fig4_throughput fig5_workload2 fig6_campaign; do
     cargo bench --offline -p iosched-bench --bench "$suite" -- --smoke
 done
 for suite in micro fig3_workload1 fig4_throughput fig5_workload2 fig6_campaign; do
@@ -43,6 +57,6 @@ for suite in micro fig3_workload1 fig4_throughput fig5_workload2 fig6_campaign; 
 done
 echo "tip: compare against a stashed baseline with" \
     "'cargo run --release --offline -p iosched-bench --bin bench_diff --" \
-    "<before.json> <after.json>' (report-only per-case deltas)"
+    "<before.json> <after.json>' (report-only; --gate <factor> to fail on regressions)"
 
 step "ci passed"

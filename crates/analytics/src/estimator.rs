@@ -1,7 +1,7 @@
 //! Decaying-average estimator of per-job-type resource requirements.
 
+use iosched_simkit::sym::Sym;
 use iosched_simkit::time::SimDuration;
-use std::collections::BTreeMap;
 
 /// Estimated resource requirements of a job (the paper's `r_j`, `d_j`).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -30,15 +30,20 @@ iosched_simkit::impl_json_struct!(State {
 });
 
 /// Exponentially-decaying weighted average of historical usage, keyed by
-/// job name ("similar jobs"). A new observation contributes weight `alpha`
-/// and the accumulated history `1 − alpha`, so recent jobs dominate —
-/// which is what lets the estimates track congestion-dependent throughput
-/// (paper §VI: the estimate falls as the file system congests, admitting
-/// more jobs, until the loop stabilises).
+/// interned job name ("similar jobs"). A new observation contributes
+/// weight `alpha` and the accumulated history `1 − alpha`, so recent jobs
+/// dominate — which is what lets the estimates track congestion-dependent
+/// throughput (paper §VI: the estimate falls as the file system congests,
+/// admitting more jobs, until the loop stabilises).
+///
+/// Symbols are dense (interned from 0 upward by the symbol table that
+/// owns the names), so the table is a plain vector indexed by symbol —
+/// lookups on the scheduler's hot path are O(1) with no string hashing
+/// or comparison.
 #[derive(Clone, Debug)]
 pub struct JobEstimator {
     alpha: f64,
-    table: BTreeMap<String, State>,
+    table: Vec<Option<State>>,
 }
 iosched_simkit::impl_json_struct!(JobEstimator { alpha, table });
 
@@ -51,7 +56,7 @@ impl JobEstimator {
         );
         JobEstimator {
             alpha,
-            table: BTreeMap::new(),
+            table: Vec::new(),
         }
     }
 
@@ -62,40 +67,48 @@ impl JobEstimator {
     }
 
     /// Fold in a completed job's measured usage.
-    pub fn observe(&mut self, name: &str, throughput_bps: f64, runtime: SimDuration) {
+    pub fn observe(&mut self, name: Sym, throughput_bps: f64, runtime: SimDuration) {
+        assert!(name.is_some(), "cannot observe the null symbol");
         let throughput_bps = throughput_bps.max(0.0);
         let runtime_secs = runtime.as_secs_f64();
-        match self.table.get_mut(name) {
+        let idx = name.0 as usize;
+        if idx >= self.table.len() {
+            self.table.resize(idx + 1, None);
+        }
+        match &mut self.table[idx] {
             Some(s) => {
                 s.throughput_bps =
                     (1.0 - self.alpha) * s.throughput_bps + self.alpha * throughput_bps;
                 s.runtime_secs = (1.0 - self.alpha) * s.runtime_secs + self.alpha * runtime_secs;
                 s.observations += 1;
             }
-            None => {
-                self.table.insert(
-                    name.to_string(),
-                    State {
-                        throughput_bps,
-                        runtime_secs,
-                        observations: 1,
-                    },
-                );
+            slot @ None => {
+                *slot = Some(State {
+                    throughput_bps,
+                    runtime_secs,
+                    observations: 1,
+                });
             }
         }
     }
 
     /// Current estimate for a job name, if any history exists.
-    pub fn estimate(&self, name: &str) -> Option<JobEstimate> {
-        self.table.get(name).map(|s| JobEstimate {
-            throughput_bps: s.throughput_bps,
-            runtime: SimDuration::from_secs_f64(s.runtime_secs),
-        })
+    pub fn estimate(&self, name: Sym) -> Option<JobEstimate> {
+        self.table
+            .get(name.0 as usize)?
+            .as_ref()
+            .map(|s| JobEstimate {
+                throughput_bps: s.throughput_bps,
+                runtime: SimDuration::from_secs_f64(s.runtime_secs),
+            })
     }
 
     /// Number of observations folded into a name's estimate.
-    pub fn observation_count(&self, name: &str) -> u64 {
-        self.table.get(name).map_or(0, |s| s.observations)
+    pub fn observation_count(&self, name: Sym) -> u64 {
+        self.table
+            .get(name.0 as usize)
+            .and_then(|s| s.as_ref())
+            .map_or(0, |s| s.observations)
     }
 
     /// Forget everything (an "untrained" estimator).
@@ -103,9 +116,13 @@ impl JobEstimator {
         self.table.clear();
     }
 
-    /// Job names with estimates.
-    pub fn known_names(&self) -> impl Iterator<Item = &str> {
-        self.table.keys().map(|s| s.as_str())
+    /// Symbols with estimates.
+    pub fn known_syms(&self) -> impl Iterator<Item = Sym> + '_ {
+        self.table
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_some())
+            .map(|(i, _)| Sym(i as u32))
     }
 }
 
@@ -113,18 +130,21 @@ impl JobEstimator {
 mod tests {
     use super::*;
 
+    const W8: Sym = Sym(0);
+    const SLEEP: Sym = Sym(1);
+
     #[test]
     fn unknown_name_has_no_estimate() {
         let e = JobEstimator::with_default_decay();
-        assert_eq!(e.estimate("w8"), None);
-        assert_eq!(e.observation_count("w8"), 0);
+        assert_eq!(e.estimate(W8), None);
+        assert_eq!(e.observation_count(W8), 0);
     }
 
     #[test]
     fn first_observation_is_taken_verbatim() {
         let mut e = JobEstimator::new(0.5);
-        e.observe("w8", 100.0, SimDuration::from_secs(40));
-        let est = e.estimate("w8").unwrap();
+        e.observe(W8, 100.0, SimDuration::from_secs(40));
+        let est = e.estimate(W8).unwrap();
         assert_eq!(est.throughput_bps, 100.0);
         assert_eq!(est.runtime, SimDuration::from_secs(40));
     }
@@ -132,48 +152,64 @@ mod tests {
     #[test]
     fn ema_tracks_recent_observations() {
         let mut e = JobEstimator::new(0.5);
-        e.observe("w8", 100.0, SimDuration::from_secs(40));
-        e.observe("w8", 50.0, SimDuration::from_secs(80));
-        let est = e.estimate("w8").unwrap();
+        e.observe(W8, 100.0, SimDuration::from_secs(40));
+        e.observe(W8, 50.0, SimDuration::from_secs(80));
+        let est = e.estimate(W8).unwrap();
         assert!((est.throughput_bps - 75.0).abs() < 1e-9);
         assert!((est.runtime.as_secs_f64() - 60.0).abs() < 1e-3);
-        assert_eq!(e.observation_count("w8"), 2);
+        assert_eq!(e.observation_count(W8), 2);
         // Convergence toward a persistent new level.
         for _ in 0..20 {
-            e.observe("w8", 10.0, SimDuration::from_secs(10));
+            e.observe(W8, 10.0, SimDuration::from_secs(10));
         }
-        let est = e.estimate("w8").unwrap();
+        let est = e.estimate(W8).unwrap();
         assert!((est.throughput_bps - 10.0).abs() < 0.01);
     }
 
     #[test]
     fn names_are_independent() {
         let mut e = JobEstimator::new(0.5);
-        e.observe("w8", 100.0, SimDuration::from_secs(40));
-        e.observe("sleep", 0.0, SimDuration::from_secs(600));
-        assert_eq!(e.estimate("sleep").unwrap().throughput_bps, 0.0);
-        assert_eq!(e.estimate("w8").unwrap().throughput_bps, 100.0);
-        assert_eq!(e.known_names().count(), 2);
+        e.observe(W8, 100.0, SimDuration::from_secs(40));
+        e.observe(SLEEP, 0.0, SimDuration::from_secs(600));
+        assert_eq!(e.estimate(SLEEP).unwrap().throughput_bps, 0.0);
+        assert_eq!(e.estimate(W8).unwrap().throughput_bps, 100.0);
+        assert_eq!(e.known_syms().count(), 2);
+    }
+
+    #[test]
+    fn sparse_symbols_leave_gaps_without_estimates() {
+        let mut e = JobEstimator::new(0.5);
+        e.observe(Sym(5), 100.0, SimDuration::from_secs(40));
+        assert_eq!(e.estimate(Sym(3)), None);
+        assert_eq!(e.estimate(Sym(99)), None);
+        assert_eq!(e.known_syms().collect::<Vec<_>>(), vec![Sym(5)]);
     }
 
     #[test]
     fn clear_forgets() {
         let mut e = JobEstimator::new(0.5);
-        e.observe("w8", 100.0, SimDuration::from_secs(40));
+        e.observe(W8, 100.0, SimDuration::from_secs(40));
         e.clear();
-        assert_eq!(e.estimate("w8"), None);
+        assert_eq!(e.estimate(W8), None);
     }
 
     #[test]
     fn negative_throughput_clamped() {
         let mut e = JobEstimator::new(1.0);
-        e.observe("x", -5.0, SimDuration::from_secs(1));
-        assert_eq!(e.estimate("x").unwrap().throughput_bps, 0.0);
+        e.observe(W8, -5.0, SimDuration::from_secs(1));
+        assert_eq!(e.estimate(W8).unwrap().throughput_bps, 0.0);
     }
 
     #[test]
     #[should_panic]
     fn zero_alpha_panics() {
         JobEstimator::new(0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn observing_null_symbol_panics() {
+        let mut e = JobEstimator::new(0.5);
+        e.observe(Sym::NONE, 1.0, SimDuration::from_secs(1));
     }
 }

@@ -10,28 +10,35 @@
 //! * [`WindowedQuantilePredictor`] — a percentile-over-recent-history
 //!   predictor in the spirit of percentile-based runtime predictors from
 //!   the literature (robust to outlier runs).
+//!
+//! Predictors are keyed by **interned job-name symbols** ([`Sym`]), not
+//! strings: the scheduler resolves each job's name to a symbol once at
+//! submission and every later lookup is an array index. The
+//! [`crate::service::AnalyticsService`] owns the symbol table and keeps
+//! string-keyed wrappers for callers that have not interned.
 
 use crate::estimator::{JobEstimate, JobEstimator};
 use iosched_simkit::stats::quantile;
+use iosched_simkit::sym::Sym;
 use iosched_simkit::time::SimDuration;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
-/// A per-job-type resource predictor.
+/// A per-job-type resource predictor keyed by interned job name.
 pub trait Predictor {
     /// Fold in a finished job's measured usage.
-    fn observe(&mut self, name: &str, throughput_bps: f64, runtime: SimDuration);
+    fn observe(&mut self, name: Sym, throughput_bps: f64, runtime: SimDuration);
     /// Current prediction for a job name, if any history exists.
-    fn predict(&self, name: &str) -> Option<JobEstimate>;
+    fn predict(&self, name: Sym) -> Option<JobEstimate>;
     /// Forget all history.
     fn clear(&mut self);
 }
 
 impl Predictor for JobEstimator {
-    fn observe(&mut self, name: &str, throughput_bps: f64, runtime: SimDuration) {
+    fn observe(&mut self, name: Sym, throughput_bps: f64, runtime: SimDuration) {
         JobEstimator::observe(self, name, throughput_bps, runtime);
     }
 
-    fn predict(&self, name: &str) -> Option<JobEstimate> {
+    fn predict(&self, name: Sym) -> Option<JobEstimate> {
         self.estimate(name)
     }
 
@@ -46,7 +53,8 @@ impl Predictor for JobEstimator {
 pub struct WindowedQuantilePredictor {
     window: usize,
     q: f64,
-    history: BTreeMap<String, VecDeque<(f64, f64)>>, // (throughput, runtime_s)
+    // Indexed by symbol; None for symbols never observed.
+    history: Vec<Option<VecDeque<(f64, f64)>>>, // (throughput, runtime_s)
 }
 iosched_simkit::impl_json_struct!(WindowedQuantilePredictor { window, q, history });
 
@@ -58,22 +66,27 @@ impl WindowedQuantilePredictor {
         WindowedQuantilePredictor {
             window,
             q,
-            history: BTreeMap::new(),
+            history: Vec::new(),
         }
     }
 }
 
 impl Predictor for WindowedQuantilePredictor {
-    fn observe(&mut self, name: &str, throughput_bps: f64, runtime: SimDuration) {
-        let h = self.history.entry(name.to_string()).or_default();
+    fn observe(&mut self, name: Sym, throughput_bps: f64, runtime: SimDuration) {
+        assert!(name.is_some(), "cannot observe the null symbol");
+        let idx = name.0 as usize;
+        if idx >= self.history.len() {
+            self.history.resize(idx + 1, None);
+        }
+        let h = self.history[idx].get_or_insert_with(VecDeque::new);
         if h.len() == self.window {
             h.pop_front();
         }
         h.push_back((throughput_bps.max(0.0), runtime.as_secs_f64()));
     }
 
-    fn predict(&self, name: &str) -> Option<JobEstimate> {
-        let h = self.history.get(name)?;
+    fn predict(&self, name: Sym) -> Option<JobEstimate> {
+        let h = self.history.get(name.0 as usize)?.as_ref()?;
         let thr: Vec<f64> = h.iter().map(|&(t, _)| t).collect();
         let dur: Vec<f64> = h.iter().map(|&(_, d)| d).collect();
         Some(JobEstimate {
@@ -123,26 +136,30 @@ impl PredictorKind {
 mod tests {
     use super::*;
 
+    const W8: Sym = Sym(0);
+    const X: Sym = Sym(1);
+    const Y: Sym = Sym(2);
+
     #[test]
     fn ema_through_the_trait() {
         let mut p: Box<dyn Predictor + Send> =
             PredictorKind::DecayingAverage { alpha: 0.5 }.build();
-        p.observe("w8", 100.0, SimDuration::from_secs(40));
-        p.observe("w8", 50.0, SimDuration::from_secs(80));
-        let est = p.predict("w8").unwrap();
+        p.observe(W8, 100.0, SimDuration::from_secs(40));
+        p.observe(W8, 50.0, SimDuration::from_secs(80));
+        let est = p.predict(W8).unwrap();
         assert!((est.throughput_bps - 75.0).abs() < 1e-9);
         p.clear();
-        assert!(p.predict("w8").is_none());
+        assert!(p.predict(W8).is_none());
     }
 
     #[test]
     fn windowed_quantile_is_robust_to_one_outlier() {
         let mut p = WindowedQuantilePredictor::new(5, 0.5);
         for _ in 0..4 {
-            p.observe("w8", 100.0, SimDuration::from_secs(60));
+            p.observe(W8, 100.0, SimDuration::from_secs(60));
         }
-        p.observe("w8", 10_000.0, SimDuration::from_secs(6000)); // outlier
-        let est = p.predict("w8").unwrap();
+        p.observe(W8, 10_000.0, SimDuration::from_secs(6000)); // outlier
+        let est = p.predict(W8).unwrap();
         assert_eq!(est.throughput_bps, 100.0);
         assert_eq!(est.runtime, SimDuration::from_secs(60));
     }
@@ -150,12 +167,12 @@ mod tests {
     #[test]
     fn window_evicts_old_observations() {
         let mut p = WindowedQuantilePredictor::new(2, 1.0); // max of last 2
-        p.observe("x", 1.0, SimDuration::from_secs(1));
-        p.observe("x", 2.0, SimDuration::from_secs(2));
-        p.observe("x", 3.0, SimDuration::from_secs(3));
-        let est = p.predict("x").unwrap();
+        p.observe(X, 1.0, SimDuration::from_secs(1));
+        p.observe(X, 2.0, SimDuration::from_secs(2));
+        p.observe(X, 3.0, SimDuration::from_secs(3));
+        let est = p.predict(X).unwrap();
         assert_eq!(est.throughput_bps, 3.0); // the 1.0 was evicted
-        assert!(p.predict("y").is_none());
+        assert!(p.predict(Y).is_none());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::estimator::JobEstimate;
 use crate::predictor::{Predictor, PredictorKind};
 use iosched_ldms::LdmsDaemon;
+use iosched_simkit::sym::{Sym, SymbolTable};
 use iosched_simkit::time::{SimDuration, SimTime};
 
 /// Service configuration.
@@ -25,9 +26,16 @@ impl Default for AnalyticsConfig {
 
 /// The analytical services module: job-requirement prediction plus the
 /// measured-current-load query (paper Fig. 2, right-hand box).
+///
+/// The service owns the job-name **symbol table**: callers intern each
+/// name once ([`AnalyticsService::intern`]) and use the `_sym` methods on
+/// the hot path — a symbol lookup is an array index, with no string
+/// allocation or comparison. The string-keyed methods remain as thin
+/// wrappers for callers (and the wire protocol) that work with names.
 pub struct AnalyticsService {
     cfg: AnalyticsConfig,
     predictor: Box<dyn Predictor + Send>,
+    symbols: SymbolTable,
 }
 
 impl AnalyticsService {
@@ -36,6 +44,7 @@ impl AnalyticsService {
         AnalyticsService {
             predictor: cfg.predictor.build(),
             cfg,
+            symbols: SymbolTable::new(),
         }
     }
 
@@ -44,13 +53,37 @@ impl AnalyticsService {
         Self::new(AnalyticsConfig::default())
     }
 
+    /// Intern a job name, returning its symbol. Idempotent; allocates
+    /// only the first time a name is seen.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        self.symbols.intern(name)
+    }
+
+    /// The symbol table (diagnostics, tests).
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
     /// Predicted requirements for a job. Falls back to the paper's
     /// cold-start behaviour when no similar job has completed: assume
     /// zero Lustre throughput (the measured-load compensation in
     /// Algorithm 2 covers the risk) and take the user's requested limit
     /// as the runtime estimate.
     pub fn job_estimate(&self, name: &str, requested_limit: SimDuration) -> JobEstimate {
-        self.predictor.predict(name).unwrap_or(JobEstimate {
+        let sym = self.symbols.get(name).unwrap_or(Sym::NONE);
+        self.job_estimate_sym(sym, requested_limit)
+    }
+
+    /// [`AnalyticsService::job_estimate`] by interned symbol — the
+    /// scheduler's per-pass fast path. `Sym::NONE` (or any symbol with no
+    /// history) yields the cold-start fallback.
+    pub fn job_estimate_sym(&self, name: Sym, requested_limit: SimDuration) -> JobEstimate {
+        let predicted = if name.is_some() {
+            self.predictor.predict(name)
+        } else {
+            None
+        };
+        predicted.unwrap_or(JobEstimate {
             throughput_bps: 0.0,
             runtime: requested_limit,
         })
@@ -58,7 +91,14 @@ impl AnalyticsService {
 
     /// True if at least one similar job has been observed.
     pub fn has_history_for(&self, name: &str) -> bool {
-        self.predictor.predict(name).is_some()
+        self.symbols
+            .get(name)
+            .is_some_and(|sym| self.has_history_sym(sym))
+    }
+
+    /// [`AnalyticsService::has_history_for`] by interned symbol.
+    pub fn has_history_sym(&self, name: Sym) -> bool {
+        name.is_some() && self.predictor.predict(name).is_some()
     }
 
     /// Measured current total Lustre throughput `R_now` (Algorithm 2,
@@ -78,6 +118,20 @@ impl AnalyticsService {
         started: SimTime,
         ended: SimTime,
     ) {
+        let sym = self.symbols.intern(name);
+        self.on_job_complete_sym(daemon, job_id, sym, started, ended);
+    }
+
+    /// [`AnalyticsService::on_job_complete`] by interned symbol — no
+    /// string in sight on the completion path.
+    pub fn on_job_complete_sym(
+        &mut self,
+        daemon: &LdmsDaemon,
+        job_id: u64,
+        name: Sym,
+        started: SimTime,
+        ended: SimTime,
+    ) {
         let runtime = ended.saturating_since(started);
         if runtime.is_zero() {
             return;
@@ -90,7 +144,8 @@ impl AnalyticsService {
     /// Pre-train the estimator with a known observation — the paper's
     /// "pre-trained by running jobs in isolation" setup.
     pub fn pretrain(&mut self, name: &str, throughput_bps: f64, runtime: SimDuration) {
-        self.predictor.observe(name, throughput_bps, runtime);
+        let sym = self.symbols.intern(name);
+        self.predictor.observe(sym, throughput_bps, runtime);
     }
 
     /// Direct access to the predictor (diagnostics, tests).
@@ -110,6 +165,11 @@ mod tests {
         assert_eq!(est.throughput_bps, 0.0);
         assert_eq!(est.runtime, SimDuration::from_secs(1800));
         assert!(!svc.has_history_for("w8"));
+        // The symbol-keyed path with a never-observed symbol behaves
+        // identically.
+        let est = svc.job_estimate_sym(Sym::NONE, SimDuration::from_secs(1800));
+        assert_eq!(est.throughput_bps, 0.0);
+        assert_eq!(est.runtime, SimDuration::from_secs(1800));
     }
 
     #[test]
@@ -120,6 +180,27 @@ mod tests {
         assert_eq!(est.throughput_bps, 1e9);
         assert_eq!(est.runtime, SimDuration::from_secs(30));
         assert!(svc.has_history_for("w8"));
+    }
+
+    #[test]
+    fn sym_and_string_paths_agree() {
+        let mut svc = AnalyticsService::untrained();
+        svc.pretrain("w8", 1e9, SimDuration::from_secs(30));
+        let sym = svc.intern("w8");
+        assert_eq!(
+            svc.job_estimate("w8", SimDuration::from_secs(99)),
+            svc.job_estimate_sym(sym, SimDuration::from_secs(99))
+        );
+        assert!(svc.has_history_sym(sym));
+        // Interning a fresh name gives a cold-start estimate until a
+        // completion is observed.
+        let cold = svc.intern("new-job");
+        assert!(!svc.has_history_sym(cold));
+        assert_eq!(
+            svc.job_estimate_sym(cold, SimDuration::from_secs(7))
+                .runtime,
+            SimDuration::from_secs(7)
+        );
     }
 
     #[test]
@@ -134,6 +215,20 @@ mod tests {
         let est = svc.job_estimate("w8", SimDuration::from_secs(999));
         assert!((est.throughput_bps - 200.0).abs() < 1e-6, "{est:?}");
         assert_eq!(est.runtime, SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn completion_by_symbol_updates_estimates() {
+        let mut daemon = LdmsDaemon::new(SimDuration::from_secs(1));
+        for s in 0..10 {
+            daemon.sample(SimTime::from_secs(s), 200.0, &[(5, 200.0)], 1);
+        }
+        let mut svc = AnalyticsService::untrained();
+        let sym = svc.intern("w8");
+        svc.on_job_complete_sym(&daemon, 5, sym, SimTime::ZERO, SimTime::from_secs(10));
+        let est = svc.job_estimate_sym(sym, SimDuration::from_secs(999));
+        assert!((est.throughput_bps - 200.0).abs() < 1e-6, "{est:?}");
+        assert!(svc.has_history_for("w8"));
     }
 
     #[test]

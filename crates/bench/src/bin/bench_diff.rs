@@ -1,11 +1,22 @@
 //! Compare two `BENCH_*.json` files and print per-case deltas.
 //!
-//! Report-only: never fails the build, exits 0 whenever both files parse.
-//! Intended workflow — stash a baseline, make a change, re-run the bench,
+//! Two modes:
+//!
+//! * **Report** (default): never fails the build, exits 0 whenever both
+//!   files parse.
+//! * **Gate** (`--gate <factor>`): exits 1 when any case present in both
+//!   files regressed by more than `factor`× on `min_ns_per_iter` — the
+//!   CI perf-regression gate. Cases that appear only on one side are
+//!   reported but never gate (new benchmarks must be able to land).
+//!   Smoke-mode files (`--smoke` runs, one untrusted sample per case)
+//!   are refused: gating on them would be noise.
+//!
+//! Typical workflow — stash a baseline, make a change, re-run the bench,
 //! then:
 //!
 //! ```text
 //! bench_diff /tmp/BENCH_micro_before.json results/bench/BENCH_micro.json
+//! bench_diff --gate 2.0 /tmp/BENCH_micro_before.json results/bench/BENCH_micro.json
 //! ```
 //!
 //! Deltas are computed on `min_ns_per_iter` (the least noise-sensitive
@@ -22,7 +33,14 @@ struct Case {
     median_ns: f64,
 }
 
-fn load(path: &str) -> Result<(String, Vec<Case>), String> {
+/// One parsed suite file.
+struct Suite {
+    suite: String,
+    smoke: bool,
+    cases: Vec<Case>,
+}
+
+fn load(path: &str) -> Result<Suite, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let root = json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
     let suite = root
@@ -30,6 +48,7 @@ fn load(path: &str) -> Result<(String, Vec<Case>), String> {
         .and_then(Value::as_str)
         .unwrap_or("?")
         .to_string();
+    let smoke = root.get("smoke").and_then(Value::as_bool).unwrap_or(false);
     let benches = root
         .get("benchmarks")
         .and_then(Value::as_array)
@@ -55,44 +74,90 @@ fn load(path: &str) -> Result<(String, Vec<Case>), String> {
             median_ns,
         });
     }
-    Ok((suite, cases))
+    Ok(Suite {
+        suite,
+        smoke,
+        cases,
+    })
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench_diff [--gate <factor>] <before.json> <after.json>");
+    eprintln!("  compares two BENCH_*.json suite files (report-only by default;");
+    eprintln!("  with --gate, exit 1 on any >factor-times min-ns regression)");
+    ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let [before_path, after_path] = match args.as_slice() {
-        [a, b] => [a, b],
-        _ => {
-            eprintln!("usage: bench_diff <before.json> <after.json>");
-            eprintln!("  compares two BENCH_*.json suite files (report-only)");
-            return ExitCode::from(2);
+    let mut gate: Option<f64> = None;
+    let mut paths: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--gate" {
+            let Some(raw) = args.get(i + 1) else {
+                return usage();
+            };
+            match raw.parse::<f64>() {
+                Ok(f) if f >= 1.0 => gate = Some(f),
+                _ => {
+                    eprintln!("bench_diff: --gate factor must be a number >= 1.0, got `{raw}`");
+                    return ExitCode::from(2);
+                }
+            }
+            i += 2;
+        } else {
+            paths.push(&args[i]);
+            i += 1;
         }
+    }
+    let [before_path, after_path] = match paths.as_slice() {
+        [a, b] => [a.as_str(), b.as_str()],
+        _ => return usage(),
     };
-    let (before_suite, before) = match load(before_path) {
+    let before = match load(before_path) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("bench_diff: {e}");
             return ExitCode::from(2);
         }
     };
-    let (after_suite, after) = match load(after_path) {
+    let after = match load(after_path) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("bench_diff: {e}");
             return ExitCode::from(2);
         }
     };
-    if before_suite != after_suite {
-        println!("note: comparing different suites (`{before_suite}` vs `{after_suite}`)");
+    if before.suite != after.suite {
+        println!(
+            "note: comparing different suites (`{}` vs `{}`)",
+            before.suite, after.suite
+        );
+    }
+    if gate.is_some() && (before.smoke || after.smoke) {
+        eprintln!(
+            "bench_diff: refusing to gate on a smoke-mode file ({}{}{}): \
+             single-sample timings are not trustworthy",
+            if before.smoke { before_path } else { "" },
+            if before.smoke && after.smoke {
+                ", "
+            } else {
+                ""
+            },
+            if after.smoke { after_path } else { "" },
+        );
+        return ExitCode::from(2);
     }
 
     println!(
-        "bench diff `{after_suite}`: {before_path} -> {after_path}\n\
+        "bench diff `{}`: {before_path} -> {after_path}\n\
          {:<44} {:>14} {:>14} {:>9} {:>9}",
-        "name", "before min ns", "after min ns", "Δmin", "Δmedian"
+        after.suite, "name", "before min ns", "after min ns", "dmin", "dmedian"
     );
-    for a in &after {
-        match before.iter().find(|b| b.name == a.name) {
+    let mut regressions: Vec<String> = Vec::new();
+    for a in &after.cases {
+        match before.cases.iter().find(|b| b.name == a.name) {
             Some(b) => {
                 let dmin = 100.0 * (a.min_ns - b.min_ns) / b.min_ns;
                 let dmed = 100.0 * (a.median_ns - b.median_ns) / b.median_ns;
@@ -100,6 +165,17 @@ fn main() -> ExitCode {
                     "{:<44} {:>14.1} {:>14.1} {:>+8.1}% {:>+8.1}%",
                     a.name, b.min_ns, a.min_ns, dmin, dmed
                 );
+                if let Some(factor) = gate {
+                    if a.min_ns > b.min_ns * factor {
+                        regressions.push(format!(
+                            "{}: {:.1} ns -> {:.1} ns ({:.2}x > {factor}x allowed)",
+                            a.name,
+                            b.min_ns,
+                            a.min_ns,
+                            a.min_ns / b.min_ns
+                        ));
+                    }
+                }
             }
             None => println!(
                 "{:<44} {:>14} {:>14.1} {:>9} {:>9}",
@@ -107,12 +183,23 @@ fn main() -> ExitCode {
             ),
         }
     }
-    for b in &before {
-        if !after.iter().any(|a| a.name == b.name) {
+    for b in &before.cases {
+        if !after.cases.iter().any(|a| a.name == b.name) {
             println!(
                 "{:<44} {:>14.1} {:>14} {:>9} {:>9}",
                 b.name, b.min_ns, "(gone)", "-", "-"
             );
+        }
+    }
+    if let Some(factor) = gate {
+        if regressions.is_empty() {
+            println!("gate: ok (no case regressed beyond {factor}x)");
+        } else {
+            eprintln!("gate: FAILED - {} regression(s):", regressions.len());
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            return ExitCode::from(1);
         }
     }
     ExitCode::SUCCESS

@@ -12,8 +12,14 @@
 //! * the **scheduler** runs a backfill pass periodically (`sched_period`,
 //!   Slurm's backfill interval) and after job completions, subject to a
 //!   minimum interval (Slurm's `sched_min_interval`);
-//! * completions are reported to the **analytics**, which refresh the
-//!   estimates the next round's [`EstimateBook`] snapshots.
+//! * completions are reported to the **analytics**, which update the
+//!   persistent [`EstimateBook`] entries for similar jobs.
+//!
+//! The control-plane data path is allocation-free in steady state: job
+//! names are interned once at submission, the estimate book persists
+//! across rounds (inserted at submission, refreshed on completion,
+//! removed when jobs finish), and every per-pass buffer — queue ids,
+//! queue refs, running views, the scheduling outcome — is reused.
 
 use iosched_analytics::service::{AnalyticsConfig, AnalyticsService};
 use iosched_cluster::{ClusterSim, ExecSpec};
@@ -26,10 +32,10 @@ use iosched_simkit::series::TimeSeries;
 use iosched_simkit::time::{SimDuration, SimTime};
 use iosched_slurm::policy::NodePolicy;
 use iosched_slurm::{
-    backfill_pass, BackfillConfig, JobRegistry, PriorityPolicy, SchedJob, SchedulingOutcome,
+    backfill_pass_into, BackfillConfig, JobRegistry, PriorityPolicy, RunningView, SchedJob,
+    SchedulingOutcome,
 };
 use iosched_workloads::JobSubmission;
-use std::collections::BTreeMap;
 
 /// Which scheduler to run — the five configurations of the paper's
 /// evaluation plus the naïve-adaptive ablation.
@@ -237,30 +243,56 @@ impl PolicyImpl {
         }
     }
 
+    /// One scheduling round. The driver's persistent book is lent to the
+    /// I/O-aware policies for the duration of the round (`begin_round` /
+    /// `take_book`), so no estimate map is rebuilt or cloned per pass.
+    #[allow(clippy::too_many_arguments)]
     fn run_pass(
         &mut self,
-        book: EstimateBook,
-        running: &[iosched_slurm::RunningView<'_>],
+        book: &mut EstimateBook,
+        running: &[RunningView<'_>],
         queue: &[&SchedJob],
         now: SimTime,
         total_nodes: usize,
         bf: &BackfillConfig,
-    ) -> SchedulingOutcome {
+        outcome: &mut SchedulingOutcome,
+    ) {
         match self {
-            PolicyImpl::Default(p) => backfill_pass(p, running, queue, now, total_nodes, bf),
+            PolicyImpl::Default(p) => {
+                backfill_pass_into(p, running, queue, now, total_nodes, bf, outcome)
+            }
             PolicyImpl::IoAware(p) => {
-                p.begin_round(book);
-                backfill_pass(p, running, queue, now, total_nodes, bf)
+                p.begin_round(std::mem::take(book));
+                backfill_pass_into(p, running, queue, now, total_nodes, bf, outcome);
+                *book = p.take_book();
             }
             PolicyImpl::Adaptive(p) => {
-                p.begin_round(book);
-                backfill_pass(p, running, queue, now, total_nodes, bf)
+                p.begin_round(std::mem::take(book));
+                backfill_pass_into(p, running, queue, now, total_nodes, bf, outcome);
+                *book = p.take_book();
             }
             PolicyImpl::Packing(cfg) => {
-                iosched_core::packing_pass(&book, running, queue, now, total_nodes, cfg)
+                *outcome = iosched_core::packing_pass(book, running, queue, now, total_nodes, cfg);
             }
         }
     }
+}
+
+/// One row of the driver's immutable job table: scheduling metadata plus
+/// the execution spec, id-sorted for binary-search lookup. The table is
+/// never mutated after submission, so per-pass `&SchedJob` views can be
+/// resolved against it without fighting the registry's mutable borrows.
+struct JobEntry {
+    meta: SchedJob,
+    spec: ExecSpec,
+}
+
+/// Look up a job's table row by id (ids are unique; the table is sorted).
+fn entry(jobs: &[JobEntry], id: JobId) -> &JobEntry {
+    let i = jobs
+        .binary_search_by_key(&id, |e| e.meta.id)
+        .unwrap_or_else(|_| panic!("unknown {id}"));
+    &jobs[i]
 }
 
 /// Run one experiment to completion.
@@ -287,22 +319,48 @@ pub fn run_experiment(cfg: &ExperimentConfig, workload: &[JobSubmission]) -> Exp
         }
     }
 
-    // Registry + exec-spec lookup.
+    // Registry + the immutable job table. Names are interned exactly once
+    // here; everything downstream works with `Sym` handles. `jobs_by_sym`
+    // lists each name's jobs so a completion can refresh the estimates of
+    // the similar jobs still alive.
     let mut registry = JobRegistry::new();
-    let mut specs: BTreeMap<JobId, ExecSpec> = BTreeMap::new();
+    let mut jobs: Vec<JobEntry> = Vec::with_capacity(workload.len());
+    let mut jobs_by_sym: Vec<Vec<JobId>> = Vec::new();
     for sub in workload {
-        registry.submit(
-            SchedJob::new(
-                sub.id,
-                sub.name.clone(),
-                sub.exec.nodes,
-                sub.limit,
-                sub.submit,
-            )
-            .with_priority(sub.priority)
-            .with_after(sub.after.clone()),
+        let sym = analytics.intern(&sub.name);
+        let meta = SchedJob::new(
+            sub.id,
+            sub.name.clone(),
+            sub.exec.nodes,
+            sub.limit,
+            sub.submit,
+        )
+        .with_priority(sub.priority)
+        .with_after(sub.after.clone())
+        .with_name_sym(sym);
+        registry.submit(meta.clone());
+        if jobs_by_sym.len() <= sym.0 as usize {
+            jobs_by_sym.resize(sym.0 as usize + 1, Vec::new());
+        }
+        jobs_by_sym[sym.0 as usize].push(sub.id);
+        jobs.push(JobEntry {
+            meta,
+            spec: sub.exec.clone(),
+        });
+    }
+    jobs.sort_unstable_by_key(|e| e.meta.id);
+
+    // The persistent estimate book (Algorithm 2, line 1 — incremental):
+    // seeded for every submitted job, refreshed when completions change a
+    // name's prediction, entries dropped as jobs finish. Policies only
+    // query the jobs passed to the round, so the values seen in any round
+    // equal the ones the old rebuild-per-pass snapshot produced.
+    let mut book = EstimateBook::new();
+    for e in &jobs {
+        book.insert(
+            e.meta.id,
+            analytics.job_estimate_sym(e.meta.name_sym, e.meta.limit),
         );
-        specs.insert(sub.id, sub.exec.clone());
     }
 
     let mut result = ExperimentResult {
@@ -320,6 +378,13 @@ pub fn run_experiment(cfg: &ExperimentConfig, workload: &[JobSubmission]) -> Exp
     // without allocating once they reach working size).
     let mut snap = iosched_lustre::FsSnapshot::default();
     let mut per_job: Vec<(u64, f64)> = Vec::new();
+
+    // Per-pass buffers, reused every round.
+    let mut queue_ids: Vec<JobId> = Vec::new();
+    let mut queue_refs: Vec<&SchedJob> = Vec::new();
+    let mut running_pairs: Vec<(JobId, SimTime)> = Vec::new();
+    let mut running_views: Vec<RunningView<'_>> = Vec::new();
+    let mut outcome = SchedulingOutcome::default();
 
     let mut guard: u64 = 0;
     while !registry.all_completed() {
@@ -351,13 +416,25 @@ pub fn run_experiment(cfg: &ExperimentConfig, workload: &[JobSubmission]) -> Exp
         let completions = cluster.advance_to(t);
         for c in &completions {
             registry.mark_completed(c.job, c.at);
-            let meta = registry.meta(c.job).expect("completed job exists");
-            let name = meta.name.clone();
+            let sym = entry(&jobs, c.job).meta.name_sym;
             let (started, ended) = match registry.state(c.job) {
                 Some(iosched_slurm::JobState::Completed { started, ended }) => (started, ended),
                 _ => unreachable!("just marked completed"),
             };
-            analytics.on_job_complete(&daemon, c.job.0, &name, started, ended);
+            analytics.on_job_complete_sym(&daemon, c.job.0, sym, started, ended);
+            book.remove(c.job);
+            // The completion changed this name's prediction; refresh the
+            // book entries of the similar jobs still alive.
+            for &jid in &jobs_by_sym[sym.0 as usize] {
+                if matches!(
+                    registry.state(jid),
+                    Some(iosched_slurm::JobState::Pending)
+                        | Some(iosched_slurm::JobState::Running { .. })
+                ) {
+                    let e = entry(&jobs, jid);
+                    book.insert(jid, analytics.job_estimate_sym(sym, e.meta.limit));
+                }
+            }
             sched_requested = true;
         }
         now = t;
@@ -369,6 +446,7 @@ pub fn run_experiment(cfg: &ExperimentConfig, workload: &[JobSubmission]) -> Exp
                     .cancel_job(now, id)
                     .expect("overrunning job is running");
                 registry.mark_timed_out(id, now);
+                book.remove(id);
                 // Killed jobs produce no estimator observation: their
                 // measured volume is truncated and would bias r̂/d̂.
                 sched_requested = true;
@@ -400,24 +478,51 @@ pub fn run_experiment(cfg: &ExperimentConfig, workload: &[JobSubmission]) -> Exp
             last_sched = Some(now);
             next_sched = now + cfg.sched_period;
 
-            let queue_full = registry.wait_queue_ordered(now, cfg.priority_policy);
-            if !queue_full.is_empty() {
-                let queue: Vec<&SchedJob> =
-                    queue_full.into_iter().take(cfg.max_queue_depth).collect();
-                let running = registry.running_views();
+            registry.wait_queue_ids_into(now, cfg.priority_policy, &mut queue_ids);
+            if !queue_ids.is_empty() {
+                queue_ids.truncate(cfg.max_queue_depth);
+                queue_refs.clear();
+                queue_refs.extend(queue_ids.iter().map(|&id| &entry(&jobs, id).meta));
+                registry.running_ids_into(&mut running_pairs);
+                running_views.clear();
+                running_views.extend(running_pairs.iter().map(|&(id, started)| RunningView {
+                    job: &entry(&jobs, id).meta,
+                    started,
+                }));
 
-                // Lines 1–2 of Algorithm 2: snapshot estimates + load.
-                let mut book = EstimateBook::new();
-                for j in queue.iter().copied().chain(running.iter().map(|rv| rv.job)) {
-                    book.insert(j.id, analytics.job_estimate(&j.name, j.limit));
-                }
+                // Line 2 of Algorithm 2: measured current load.
                 book.measured_total_bps = analytics.current_load_bps(&daemon, now);
 
-                let outcome = policy.run_pass(book, &running, &queue, now, cfg.nodes, &bf);
+                // The incremental book must agree with what a rebuild
+                // from the analytics would produce for every job the
+                // round can see.
+                #[cfg(debug_assertions)]
+                for j in queue_refs
+                    .iter()
+                    .copied()
+                    .chain(running_views.iter().map(|rv| rv.job))
+                {
+                    debug_assert_eq!(
+                        book.get(j.id),
+                        Some(analytics.job_estimate_sym(j.name_sym, j.limit)),
+                        "estimate book out of sync for {}",
+                        j.id
+                    );
+                }
+
+                policy.run_pass(
+                    &mut book,
+                    &running_views,
+                    &queue_refs,
+                    now,
+                    cfg.nodes,
+                    &bf,
+                    &mut outcome,
+                );
                 result.sched_passes += 1;
 
-                for id in outcome.start_now {
-                    let spec = specs.get(&id).expect("spec exists");
+                for &id in &outcome.start_now {
+                    let spec = &entry(&jobs, id).spec;
                     cluster
                         .start_job(now, id, spec)
                         .unwrap_or_else(|e| panic!("scheduler overcommitted: {e}"));
@@ -427,15 +532,16 @@ pub fn run_experiment(cfg: &ExperimentConfig, workload: &[JobSubmission]) -> Exp
         }
     }
 
-    // Final sample so traces extend to the end.
-    cluster.fs().snapshot_into(&mut snap);
-    result
-        .throughput_trace
-        .push(now.max(daemon.next_sample_at()), snap.total_bps);
-    result.nodes_trace.push(
-        now.max(daemon.next_sample_at()),
-        cluster.busy_nodes() as f64,
-    );
+    // Final sample so traces extend to the end of the run. Stamped at the
+    // completion time itself — never past it: stamping at the *next*
+    // scheduled sample tick would extend the trace beyond the makespan
+    // and bias tail averages. Skipped when the regular cadence already
+    // sampled this instant.
+    if result.throughput_trace.last_time() != Some(now) {
+        cluster.fs().snapshot_into(&mut snap);
+        result.throughput_trace.push(now, snap.total_bps);
+        result.nodes_trace.push(now, cluster.busy_nodes() as f64);
+    }
 
     result.makespan_secs = registry
         .makespan()
@@ -575,6 +681,17 @@ mod tests {
         cfg.pretrained = false;
         let res = run_experiment(&cfg, &tiny_workload());
         assert_eq!(res.jobs.len(), 20);
+    }
+
+    #[test]
+    fn traces_never_extend_past_the_makespan() {
+        // Write jobs finish at fractional times between sample ticks; the
+        // final trace point must be stamped at the completion time, not
+        // at the next (never-taken) sampling tick past the makespan.
+        let res = run_experiment(&quick_cfg(SchedulerKind::DefaultBackfill), &tiny_workload());
+        let end = res.jobs.iter().map(|j| j.end).max().unwrap();
+        assert_eq!(res.throughput_trace.last_time(), Some(end));
+        assert_eq!(res.nodes_trace.last_time(), Some(end));
     }
 
     #[test]

@@ -9,10 +9,14 @@
 //! scheduled into windows where the adjusted reservations already meet
 //! the adjusted target `R̃′`; zero-group jobs are scheduled as usual and
 //! keep the nodes busy.
+//!
+//! The policy owns every per-round buffer — the split input/output, the
+//! AT profile, and (via [`IoAwareCore`]) the node and LT profiles — so a
+//! steady-state round reuses warm allocations instead of rebuilding them.
 
 use crate::book::EstimateBook;
-use crate::ioaware::{effective_r, IoAwareConfig, IoAwarePolicy, IoAwareTracker};
-use crate::twogroup::{two_group_split, SplitJob, TwoGroupParams, TwoGroupSplit};
+use crate::ioaware::{effective_r, IoAwareCore, IoAwareTracker};
+use crate::twogroup::{two_group_split_into, SplitJob, TwoGroupParams, TwoGroupSplit};
 use iosched_simkit::time::SimTime;
 use iosched_slurm::{ReservationTracker, ResourceProfile, RunningView, SchedJob, SchedulingPolicy};
 
@@ -53,10 +57,17 @@ impl AdaptiveConfig {
 /// The workload-adaptive scheduling policy.
 pub struct AdaptivePolicy {
     cfg: AdaptiveConfig,
-    inner: IoAwarePolicy,
     book: EstimateBook,
-    /// Parameters of the most recent round (for diagnostics and tests).
-    last_params: Option<TwoGroupParams>,
+    core: IoAwareCore,
+    /// Pooled AT profile (Algorithm 6's adjusted reservations).
+    at: ResourceProfile,
+    /// Pooled split input, rebuilt from the queue each round.
+    split_jobs: Vec<SplitJob>,
+    /// Pooled index scratch for the split's ρ-ordering.
+    split_order: Vec<u32>,
+    /// Parameters of the most recent round, filled in place.
+    params: TwoGroupParams,
+    have_params: bool,
 }
 
 impl AdaptivePolicy {
@@ -68,148 +79,158 @@ impl AdaptivePolicy {
             "qos_fraction must be in [0, 1]"
         );
         AdaptivePolicy {
-            inner: IoAwarePolicy::new(IoAwareConfig {
-                limit_bps: cfg.limit_bps,
-            }),
             cfg,
             book: EstimateBook::new(),
-            last_params: None,
+            core: IoAwareCore::default(),
+            at: ResourceProfile::new(cfg.limit_bps),
+            split_jobs: Vec::new(),
+            split_order: Vec::new(),
+            params: TwoGroupParams::default(),
+            have_params: false,
         }
     }
 
     /// Install the round's estimate snapshot (Algorithm 5, line 1).
     pub fn begin_round(&mut self, book: EstimateBook) {
-        self.inner.begin_round(book.clone());
         self.book = book;
+    }
+
+    /// Take the estimate snapshot back out (the driver hands the same
+    /// book to the policy every round instead of cloning it).
+    pub fn take_book(&mut self) -> EstimateBook {
+        std::mem::take(&mut self.book)
     }
 
     /// Parameters computed in the most recent round.
     pub fn last_params(&self) -> Option<&TwoGroupParams> {
-        self.last_params.as_ref()
+        self.have_params.then_some(&self.params)
     }
 
     /// The configuration.
     pub fn config(&self) -> AdaptiveConfig {
         self.cfg
     }
+}
 
-    /// Algorithm 5, lines 3–5 (reconstructed; see DESIGN.md): the target
-    /// throughput from remaining I/O volume over remaining node-time.
-    fn compute_target(
-        &self,
-        running: &[RunningView<'_>],
-        queue: &[&SchedJob],
-        now: SimTime,
-        total_nodes: usize,
-    ) -> f64 {
-        let mut v_io = 0.0; // bytes
-        let mut node_secs = 0.0; // node·s
-        for rv in running {
-            let d = self.book.d_or(rv.job.id, rv.job.limit);
-            let end = rv.started + d;
-            if now < end {
-                let remaining = (end - now).as_secs_f64();
-                v_io += self.book.r(rv.job.id) * remaining;
-                node_secs += rv.job.nodes as f64 * remaining;
-            }
+/// Algorithm 5, lines 3–5 (reconstructed; see DESIGN.md): the target
+/// throughput from remaining I/O volume over remaining node-time.
+pub(crate) fn compute_target(
+    book: &EstimateBook,
+    running: &[RunningView<'_>],
+    queue: &[&SchedJob],
+    now: SimTime,
+    total_nodes: usize,
+) -> f64 {
+    let mut v_io = 0.0; // bytes
+    let mut node_secs = 0.0; // node·s
+    for rv in running {
+        let d = book.d_or(rv.job.id, rv.job.limit);
+        let end = rv.started + d;
+        if now < end {
+            let remaining = (end - now).as_secs_f64();
+            v_io += book.r(rv.job.id) * remaining;
+            node_secs += rv.job.nodes as f64 * remaining;
         }
-        for job in queue {
-            let d = self.book.d_or(job.id, job.limit).as_secs_f64();
-            v_io += self.book.r(job.id) * d;
-            node_secs += job.nodes as f64 * d;
-        }
-        if node_secs <= 0.0 || total_nodes == 0 {
-            return 0.0;
-        }
-        let t_nodes = node_secs / total_nodes as f64;
-        v_io / t_nodes
     }
+    for job in queue {
+        let d = book.d_or(job.id, job.limit).as_secs_f64();
+        v_io += book.r(job.id) * d;
+        node_secs += job.nodes as f64 * d;
+    }
+    if node_secs <= 0.0 || total_nodes == 0 {
+        return 0.0;
+    }
+    let t_nodes = node_secs / total_nodes as f64;
+    v_io / t_nodes
 }
 
 /// Tracker of Algorithms 6–7: the I/O-aware tracker `RT` plus the
 /// adjusted-throughput tracker `AT` gating regular jobs on the target.
-pub struct AdaptiveTracker {
-    rt: IoAwareTracker,
-    at: ResourceProfile,
-    params: TwoGroupParams,
-    book: EstimateBook,
-    limit_bps: f64,
+pub struct AdaptiveTracker<'a> {
+    rt: IoAwareTracker<'a>,
+    at: &'a mut ResourceProfile,
+    params: &'a TwoGroupParams,
 }
 
-impl AdaptiveTracker {
+impl AdaptiveTracker<'_> {
     /// The round's adaptive parameters.
     pub fn params(&self) -> &TwoGroupParams {
-        &self.params
+        self.params
     }
 
     /// The adjusted-reservation profile (diagnostics/tests).
     pub fn adjusted_profile(&self) -> &ResourceProfile {
-        &self.at
+        self.at
     }
 }
 
 impl SchedulingPolicy for AdaptivePolicy {
-    type Tracker = AdaptiveTracker;
+    type Tracker<'a> = AdaptiveTracker<'a>;
 
-    fn init_tracker(
-        &mut self,
+    fn init_tracker<'a>(
+        &'a mut self,
         running: &[RunningView<'_>],
         queue: &[&SchedJob],
         now: SimTime,
         total_nodes: usize,
-    ) -> AdaptiveTracker {
-        // Line 2: the I/O-aware tracker (Algorithm 2).
-        let rt = self.inner.init_tracker(running, queue, now, total_nodes);
-
+    ) -> AdaptiveTracker<'a> {
         // Lines 3–5: target throughput.
-        let r_tilde = self.compute_target(running, queue, now, total_nodes);
+        let r_tilde = compute_target(&self.book, running, queue, now, total_nodes);
 
-        // Lines 6–8: the two-group split over the wait queue.
-        let split_jobs: Vec<SplitJob> = queue
-            .iter()
-            .map(|job| SplitJob {
-                id: job.id,
-                r_bps: self.book.r(job.id),
-                nodes: job.nodes,
-                d_secs: self.book.d_or(job.id, job.limit).as_secs_f64(),
-            })
-            .collect();
-        let split = if self.cfg.two_group {
-            two_group_split(&split_jobs, self.cfg.qos_fraction)
+        // Lines 6–8: the two-group split over the wait queue, into the
+        // pooled buffers.
+        self.split_jobs.clear();
+        self.split_jobs.extend(queue.iter().map(|job| SplitJob {
+            id: job.id,
+            r_bps: self.book.r(job.id),
+            nodes: job.nodes,
+            d_secs: self.book.d_or(job.id, job.limit).as_secs_f64(),
+        }));
+        if self.cfg.two_group {
+            two_group_split_into(
+                &self.split_jobs,
+                self.cfg.qos_fraction,
+                &mut self.split_order,
+                &mut self.params.split,
+            );
         } else {
-            TwoGroupSplit::naive(&split_jobs)
-        };
-        let r_tilde_prime = (r_tilde - total_nodes as f64 * split.r_zero_bar).max(0.0);
-        let params = TwoGroupParams {
-            r_tilde_bps: r_tilde,
-            r_tilde_prime_bps: r_tilde_prime,
-            split,
-        };
+            TwoGroupSplit::naive_into(&self.split_jobs, &mut self.params.split);
+        }
+        self.params.r_tilde_bps = r_tilde;
+        self.params.r_tilde_prime_bps =
+            (r_tilde - total_nodes as f64 * self.params.split.r_zero_bar).max(0.0);
+        self.have_params = true;
 
         // Lines 9–11: the AT tracker, seeded with the running jobs'
         // adjusted loads (which may be negative for low-I/O jobs).
-        let mut at = ResourceProfile::new(self.cfg.limit_bps);
+        self.at.reset(self.cfg.limit_bps);
         for rv in running {
             let r = effective_r(&self.book, rv.job, self.cfg.limit_bps);
-            let adj = r - rv.job.nodes as f64 * params.split.r_zero_bar;
-            at.reserve(adj, rv.started, rv.reservation_end(now));
+            let adj = r - rv.job.nodes as f64 * self.params.split.r_zero_bar;
+            self.at.reserve(adj, rv.started, rv.reservation_end(now));
         }
 
-        self.last_params = Some(params.clone());
+        // Line 2: the I/O-aware tracker (Algorithm 2).
+        let rt = self.core.init_tracker(
+            &self.book,
+            self.cfg.limit_bps,
+            running,
+            queue,
+            now,
+            total_nodes,
+        );
         AdaptiveTracker {
             rt,
-            at,
-            params,
-            book: self.book.clone(),
-            limit_bps: self.cfg.limit_bps,
+            at: &mut self.at,
+            params: &self.params,
         }
     }
 }
 
-impl ReservationTracker for AdaptiveTracker {
+impl ReservationTracker for AdaptiveTracker<'_> {
     /// Algorithm 7.
     fn earliest_start(&mut self, job: &SchedJob, t_min: SimTime) -> SimTime {
-        let r = effective_r(&self.book, job, self.limit_bps);
+        let r = effective_r(self.rt.book, job, self.rt.limit_bps);
         if self.params.split.is_zero(r, job.nodes) {
             // Zero job: plain I/O-aware placement.
             return self.rt.earliest_start(job, t_min);
@@ -235,7 +256,7 @@ impl ReservationTracker for AdaptiveTracker {
     /// Algorithm 6.
     fn reserve(&mut self, job: &SchedJob, start: SimTime) {
         self.rt.reserve(job, start);
-        let r = effective_r(&self.book, job, self.limit_bps);
+        let r = effective_r(self.rt.book, job, self.rt.limit_bps);
         if !self.params.split.is_zero(r, job.nodes) {
             let adj = r - job.nodes as f64 * self.params.split.r_zero_bar;
             self.at.reserve(adj, start, start + job.limit);
@@ -444,6 +465,47 @@ mod tests {
         assert!(out.start_now.contains(&JobId(3)));
         assert!(out.start_now.contains(&JobId(4)));
         assert!(out.start_now.iter().any(|id| id.0 <= 2));
+    }
+
+    #[test]
+    fn repeated_rounds_are_stable() {
+        // Pooled split/AT buffers are fully overwritten each round: the
+        // same inputs give the same outcome on every pass.
+        let mut p = AdaptivePolicy::new(AdaptiveConfig::paper(10.0));
+        let entries: Vec<(u64, f64, u64)> = (1..=6).map(|i| (i, i as f64, 100)).collect();
+        p.begin_round(book(&entries, 0.0));
+        let jobs: Vec<SchedJob> = (1..=6).map(|i| job(i, 1, 100)).collect();
+        let refs: Vec<&SchedJob> = jobs.iter().collect();
+        let first = backfill_pass(
+            &mut p,
+            &[],
+            &refs,
+            SimTime::ZERO,
+            6,
+            &BackfillConfig::default(),
+        );
+        let first_params = p.last_params().unwrap().clone();
+        for _ in 0..3 {
+            let again = backfill_pass(
+                &mut p,
+                &[],
+                &refs,
+                SimTime::ZERO,
+                6,
+                &BackfillConfig::default(),
+            );
+            assert_eq!(again, first);
+            let params = p.last_params().unwrap();
+            assert_eq!(params.split, first_params.split);
+            assert_eq!(
+                params.r_tilde_bps.to_bits(),
+                first_params.r_tilde_bps.to_bits()
+            );
+            assert_eq!(
+                params.r_tilde_prime_bps.to_bits(),
+                first_params.r_tilde_prime_bps.to_bits()
+            );
+        }
     }
 
     #[test]

@@ -1,21 +1,29 @@
-//! Per-round estimate snapshot.
+//! Estimate snapshot the policies schedule against.
 //!
 //! At the beginning of every scheduling round the scheduler obtains the
 //! latest job estimates and the measured file-system load from the
 //! analytical services (Algorithm 2, lines 1–2). The [`EstimateBook`] is
 //! that snapshot: immutable for the duration of the round, so every
 //! tracker query within a round sees consistent numbers.
+//!
+//! The book persists *across* rounds: the driver inserts a job's estimate
+//! at submission, refreshes entries when a completion changes a job
+//! name's prediction, and removes entries when jobs finish — instead of
+//! rebuilding the whole map from string-keyed predictor lookups every
+//! round. Storage is a dense vector indexed by [`JobId`] (driver job ids
+//! are small and dense), so the per-query cost on the scheduling hot
+//! path is an array load.
 
 use iosched_analytics::JobEstimate;
 use iosched_simkit::ids::JobId;
 use iosched_simkit::time::SimDuration;
-use std::collections::BTreeMap;
 
 /// Snapshot of `r_j`/`d_j` estimates for all relevant jobs plus the
 /// measured current total throughput `R_now`.
 #[derive(Clone, Debug, Default)]
 pub struct EstimateBook {
-    per_job: BTreeMap<JobId, JobEstimate>,
+    per_job: Vec<Option<JobEstimate>>,
+    entries: usize,
     /// Measured current total Lustre throughput, bytes/s.
     pub measured_total_bps: f64,
 }
@@ -26,26 +34,43 @@ impl EstimateBook {
         Self::default()
     }
 
-    /// Record the estimate for one job.
+    /// Record the estimate for one job, replacing any previous entry.
     pub fn insert(&mut self, job: JobId, estimate: JobEstimate) {
-        self.per_job.insert(job, estimate);
+        let idx = job.0 as usize;
+        if idx >= self.per_job.len() {
+            self.per_job.resize(idx + 1, None);
+        }
+        if self.per_job[idx].is_none() {
+            self.entries += 1;
+        }
+        self.per_job[idx] = Some(estimate);
+    }
+
+    /// Drop a job's entry (the job finished); no-op when absent.
+    pub fn remove(&mut self, job: JobId) {
+        if let Some(slot) = self.per_job.get_mut(job.0 as usize) {
+            if slot.take().is_some() {
+                self.entries -= 1;
+            }
+        }
+    }
+
+    /// The recorded estimate, if any.
+    pub fn get(&self, job: JobId) -> Option<JobEstimate> {
+        *self.per_job.get(job.0 as usize)?
     }
 
     /// Estimated throughput `r_j` (bytes/s); 0.0 when the job is unknown —
     /// the paper's cold-start assumption, backed by the measured-load
     /// compensation.
     pub fn r(&self, job: JobId) -> f64 {
-        self.per_job
-            .get(&job)
-            .map_or(0.0, |e| e.throughput_bps.max(0.0))
+        self.get(job).map_or(0.0, |e| e.throughput_bps.max(0.0))
     }
 
     /// Estimated runtime `d_j`; zero when unknown (callers fall back to
     /// the requested limit where the algorithm needs a duration).
     pub fn d(&self, job: JobId) -> SimDuration {
-        self.per_job
-            .get(&job)
-            .map_or(SimDuration::ZERO, |e| e.runtime)
+        self.get(job).map_or(SimDuration::ZERO, |e| e.runtime)
     }
 
     /// Estimated runtime, or `limit` when there is no estimate (or a
@@ -61,12 +86,12 @@ impl EstimateBook {
 
     /// Number of jobs with recorded estimates.
     pub fn len(&self) -> usize {
-        self.per_job.len()
+        self.entries
     }
 
     /// True when no per-job estimates were recorded.
     pub fn is_empty(&self) -> bool {
-        self.per_job.is_empty()
+        self.entries == 0
     }
 }
 
@@ -84,6 +109,7 @@ mod tests {
             SimDuration::from_secs(100)
         );
         assert!(book.is_empty());
+        assert_eq!(book.get(JobId(1)), None);
     }
 
     #[test]
@@ -104,6 +130,26 @@ mod tests {
             SimDuration::from_secs(60)
         );
         assert_eq!(book.len(), 1);
+    }
+
+    #[test]
+    fn insert_replaces_and_remove_forgets() {
+        let mut book = EstimateBook::new();
+        let est = |r: f64| JobEstimate {
+            throughput_bps: r,
+            runtime: SimDuration::from_secs(10),
+        };
+        book.insert(JobId(4), est(1.0));
+        book.insert(JobId(4), est(2.0));
+        assert_eq!(book.len(), 1);
+        assert_eq!(book.r(JobId(4)), 2.0);
+        book.remove(JobId(4));
+        assert!(book.is_empty());
+        assert_eq!(book.r(JobId(4)), 0.0);
+        // Removing an absent job (in or out of range) is a no-op.
+        book.remove(JobId(4));
+        book.remove(JobId(1000));
+        assert!(book.is_empty());
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //!   requirements;
 //! * `EarliestStartTime` is the two-resource fixpoint of Algorithm 4;
 //! * `ReserveResources` reserves both nodes and bandwidth (Algorithm 3).
+//!
+//! Like the node policy it composes with, the policy owns pooled profile
+//! scratch that its per-round trackers borrow and mutate in place, so a
+//! steady-state scheduling round allocates nothing.
 
 use crate::book::EstimateBook;
 use iosched_simkit::time::SimTime;
@@ -27,10 +31,44 @@ pub struct IoAwareConfig {
     pub limit_bps: f64,
 }
 
+/// The node tracker plus the pooled LT profile — the reusable part of the
+/// I/O-aware machinery, shared with the adaptive policy (which layers its
+/// AT profile on top).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct IoAwareCore {
+    node_policy: NodePolicy,
+    lt: ResourceProfile,
+}
+
+impl IoAwareCore {
+    /// Algorithm 2: build the `{NT, LT}` tracker for one round, borrowing
+    /// the pooled profiles.
+    pub(crate) fn init_tracker<'a>(
+        &'a mut self,
+        book: &'a EstimateBook,
+        limit_bps: f64,
+        running: &[RunningView<'_>],
+        queue: &[&SchedJob],
+        now: SimTime,
+        total_nodes: usize,
+    ) -> IoAwareTracker<'a> {
+        let IoAwareCore { node_policy, lt } = self;
+        let nodes = node_policy.init_tracker(running, queue, now, total_nodes);
+        fill_bandwidth_profile(book, running, now, limit_bps, lt);
+        IoAwareTracker {
+            nodes,
+            lt,
+            book,
+            limit_bps,
+        }
+    }
+}
+
 /// The I/O-aware scheduling policy.
 pub struct IoAwarePolicy {
     cfg: IoAwareConfig,
     book: EstimateBook,
+    core: IoAwareCore,
 }
 
 impl IoAwarePolicy {
@@ -40,6 +78,7 @@ impl IoAwarePolicy {
         IoAwarePolicy {
             cfg,
             book: EstimateBook::new(),
+            core: IoAwareCore::default(),
         }
     }
 
@@ -47,6 +86,12 @@ impl IoAwarePolicy {
     /// Call before every [`iosched_slurm::backfill_pass`].
     pub fn begin_round(&mut self, book: EstimateBook) {
         self.book = book;
+    }
+
+    /// Take the estimate snapshot back out (the driver hands the same
+    /// book to the policy every round instead of cloning it).
+    pub fn take_book(&mut self) -> EstimateBook {
+        std::mem::take(&mut self.book)
     }
 
     /// The configured limit.
@@ -60,14 +105,17 @@ impl IoAwarePolicy {
     }
 }
 
-/// Build the LT bandwidth profile of Algorithm 2 (lines 4–8).
-pub(crate) fn build_bandwidth_profile(
+/// Fill the LT bandwidth profile of Algorithm 2 (lines 4–8) into a
+/// caller-owned profile (reset first, so the profile's allocation is
+/// reused round over round).
+pub(crate) fn fill_bandwidth_profile(
     book: &EstimateBook,
     running: &[RunningView<'_>],
     now: SimTime,
     limit_bps: f64,
-) -> ResourceProfile {
-    let mut lt = ResourceProfile::new(limit_bps);
+    lt: &mut ResourceProfile,
+) {
+    lt.reset(limit_bps);
     let mut sum_running = 0.0;
     let mut horizon = now;
     for rv in running {
@@ -83,7 +131,6 @@ pub(crate) fn build_bandwidth_profile(
     if unaccounted > 0.0 && horizon > now {
         lt.reserve(unaccounted, now, horizon);
     }
-    lt
 }
 
 /// `r_j` clamped to the limit: an estimate above `R_limit` would make the
@@ -94,47 +141,47 @@ pub(crate) fn effective_r(book: &EstimateBook, job: &SchedJob, limit_bps: f64) -
 }
 
 /// Tracker produced by [`IoAwarePolicy`]: Slurm's node tracker plus the
-/// Lustre-throughput profile.
-pub struct IoAwareTracker {
-    nodes: NodeTracker,
-    lt: ResourceProfile,
-    book: EstimateBook,
-    limit_bps: f64,
+/// Lustre-throughput profile, both borrowed from policy-owned scratch.
+pub struct IoAwareTracker<'a> {
+    pub(crate) nodes: NodeTracker<'a>,
+    pub(crate) lt: &'a mut ResourceProfile,
+    pub(crate) book: &'a EstimateBook,
+    pub(crate) limit_bps: f64,
 }
 
-impl IoAwareTracker {
+impl IoAwareTracker<'_> {
     /// Read access to the bandwidth profile (diagnostics/tests).
     pub fn bandwidth_profile(&self) -> &ResourceProfile {
-        &self.lt
+        self.lt
     }
 }
 
 impl SchedulingPolicy for IoAwarePolicy {
-    type Tracker = IoAwareTracker;
+    type Tracker<'a> = IoAwareTracker<'a>;
 
-    fn init_tracker(
-        &mut self,
+    fn init_tracker<'a>(
+        &'a mut self,
         running: &[RunningView<'_>],
         queue: &[&SchedJob],
         now: SimTime,
         total_nodes: usize,
-    ) -> IoAwareTracker {
-        let nodes = NodePolicy::default().init_tracker(running, queue, now, total_nodes);
-        let lt = build_bandwidth_profile(&self.book, running, now, self.cfg.limit_bps);
-        IoAwareTracker {
-            nodes,
-            lt,
-            book: self.book.clone(),
-            limit_bps: self.cfg.limit_bps,
-        }
+    ) -> IoAwareTracker<'a> {
+        self.core.init_tracker(
+            &self.book,
+            self.cfg.limit_bps,
+            running,
+            queue,
+            now,
+            total_nodes,
+        )
     }
 }
 
-impl ReservationTracker for IoAwareTracker {
+impl ReservationTracker for IoAwareTracker<'_> {
     /// Algorithm 4: alternate between the node tracker and the bandwidth
     /// profile until a common start time is a fixpoint.
     fn earliest_start(&mut self, job: &SchedJob, t_min: SimTime) -> SimTime {
-        let r = effective_r(&self.book, job, self.limit_bps);
+        let r = effective_r(self.book, job, self.limit_bps);
         let mut t = t_min;
         loop {
             let t_nt = self.nodes.earliest_start(job, t);
@@ -152,7 +199,7 @@ impl ReservationTracker for IoAwareTracker {
     /// Algorithm 3: reserve nodes and bandwidth for `[t, t + L_j)`.
     fn reserve(&mut self, job: &SchedJob, start: SimTime) {
         self.nodes.reserve(job, start);
-        let r = effective_r(&self.book, job, self.limit_bps);
+        let r = effective_r(self.book, job, self.limit_bps);
         self.lt.reserve(r, start, start + job.limit);
     }
 }
@@ -353,6 +400,39 @@ mod tests {
         // B: nodes free at 100, but bandwidth 9+2 > 10 during [100,150) →
         // earliest at 150.
         assert_eq!(tb, SimTime::from_secs(150));
+    }
+
+    #[test]
+    fn repeated_rounds_reuse_policy_scratch() {
+        // The same policy driven over several rounds produces the same
+        // decisions each time (the pooled profiles are fully reset).
+        let mut p = policy_with(10.0, &[(1, 3.0, 50), (2, 8.0, 50)], 0.0);
+        let a = job(1, 1, 100);
+        let b = job(2, 1, 100);
+        let refs = [&a, &b];
+        let first = backfill_pass(
+            &mut p,
+            &[],
+            &refs,
+            SimTime::ZERO,
+            100,
+            &BackfillConfig::default(),
+        );
+        for _ in 0..3 {
+            let again = backfill_pass(
+                &mut p,
+                &[],
+                &refs,
+                SimTime::ZERO,
+                100,
+                &BackfillConfig::default(),
+            );
+            assert_eq!(again, first);
+        }
+        // take_book returns the installed snapshot and leaves an empty one.
+        let book = p.take_book();
+        assert_eq!(book.r(JobId(2)), 8.0);
+        assert!(p.book().is_empty());
     }
 
     #[test]

@@ -48,7 +48,7 @@ impl SplitJob {
 }
 
 /// Result of the two-group split.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct TwoGroupSplit {
     /// The threshold `r*` (per-node load; a job is "zero" iff `ρ_j ≤ r*`).
     pub r_star: f64,
@@ -63,15 +63,19 @@ impl TwoGroupSplit {
     /// genuinely zero-throughput jobs are zero jobs, and no adjustment is
     /// applied.
     pub fn naive(jobs: &[SplitJob]) -> TwoGroupSplit {
-        TwoGroupSplit {
-            r_star: 0.0,
-            r_zero_bar: 0.0,
-            zero_jobs: jobs
-                .iter()
-                .filter(|j| j.r_bps <= 0.0)
-                .map(|j| j.id)
-                .collect(),
-        }
+        let mut out = TwoGroupSplit::default();
+        TwoGroupSplit::naive_into(jobs, &mut out);
+        out
+    }
+
+    /// [`TwoGroupSplit::naive`] writing into a caller-owned split,
+    /// reusing its `zero_jobs` allocation.
+    pub fn naive_into(jobs: &[SplitJob], out: &mut TwoGroupSplit) {
+        out.r_star = 0.0;
+        out.r_zero_bar = 0.0;
+        out.zero_jobs.clear();
+        out.zero_jobs
+            .extend(jobs.iter().filter(|j| j.r_bps <= 0.0).map(|j| j.id));
     }
 
     /// Is this job in the zero group under this split?
@@ -90,19 +94,37 @@ impl TwoGroupSplit {
 /// `qos_fraction · total node-time`. An empty queue yields a trivial
 /// all-zero split.
 pub fn two_group_split(jobs: &[SplitJob], qos_fraction: f64) -> TwoGroupSplit {
+    let mut out = TwoGroupSplit::default();
+    two_group_split_into(jobs, qos_fraction, &mut Vec::new(), &mut out);
+    out
+}
+
+/// [`two_group_split`] writing into a caller-owned split. `order` is a
+/// reusable index scratch buffer; neither it nor `out` retain anything
+/// between calls beyond their allocations, so one pair serves every
+/// scheduling round allocation-free once warm.
+pub fn two_group_split_into(
+    jobs: &[SplitJob],
+    qos_fraction: f64,
+    order: &mut Vec<u32>,
+    out: &mut TwoGroupSplit,
+) {
     assert!(
         (0.0..=1.0).contains(&qos_fraction),
         "qos_fraction must be in [0, 1]"
     );
+    out.r_star = 0.0;
+    out.r_zero_bar = 0.0;
+    out.zero_jobs.clear();
     if jobs.is_empty() {
-        return TwoGroupSplit {
-            r_star: 0.0,
-            r_zero_bar: 0.0,
-            zero_jobs: Vec::new(),
-        };
+        return;
     }
-    let mut sorted: Vec<&SplitJob> = jobs.iter().collect();
-    sorted.sort_by(|a, b| {
+    order.clear();
+    order.extend(0..jobs.len() as u32);
+    // (ρ, id) is a total order over distinct jobs, so the unstable sort
+    // is deterministic and matches a stable sort on the same key.
+    order.sort_unstable_by(|&a, &b| {
+        let (a, b) = (&jobs[a as usize], &jobs[b as usize]);
         a.rho()
             .partial_cmp(&b.rho())
             .expect("NaN load")
@@ -116,15 +138,16 @@ pub fn two_group_split(jobs: &[SplitJob], qos_fraction: f64) -> TwoGroupSplit {
     let mut acc = 0.0;
     let mut r_star = 0.0;
     let mut cut = 0; // first index NOT in the zero group
-    for (i, j) in sorted.iter().enumerate() {
+    for (i, &ji) in order.iter().enumerate() {
+        let j = &jobs[ji as usize];
         acc += j.node_time();
         r_star = j.rho();
         cut = i + 1;
         // Include all jobs tied at the threshold (ρ_j ≤ r* is the group
         // definition, so ties cannot straddle the cut).
-        let tie = sorted[cut..]
+        let tie = order[cut..]
             .iter()
-            .take_while(|k| k.rho() <= r_star)
+            .take_while(|&&k| jobs[k as usize].rho() <= r_star)
             .count();
         if acc + 1e-12 >= need {
             cut += tie;
@@ -132,23 +155,28 @@ pub fn two_group_split(jobs: &[SplitJob], qos_fraction: f64) -> TwoGroupSplit {
         }
     }
 
-    let zero: Vec<&SplitJob> = sorted[..cut].to_vec();
-    let zero_node_time: f64 = zero.iter().map(|j| j.node_time()).sum();
+    let zero = &order[..cut];
+    let zero_node_time: f64 = zero.iter().map(|&k| jobs[k as usize].node_time()).sum();
     let r_zero_bar = if zero_node_time > 0.0 {
-        zero.iter().map(|j| j.rho() * j.node_time()).sum::<f64>() / zero_node_time
+        zero.iter()
+            .map(|&k| {
+                let j = &jobs[k as usize];
+                j.rho() * j.node_time()
+            })
+            .sum::<f64>()
+            / zero_node_time
     } else {
         0.0
     };
-    TwoGroupSplit {
-        r_star,
-        r_zero_bar,
-        zero_jobs: zero.iter().map(|j| j.id).collect(),
-    }
+    out.r_star = r_star;
+    out.r_zero_bar = r_zero_bar;
+    out.zero_jobs
+        .extend(zero.iter().map(|&k| jobs[k as usize].id));
 }
 
 /// The full parameter set the adaptive tracker needs (Algorithm 5,
 /// lines 3–8): the target `R̃`, the split, and the adjusted target `R̃′`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct TwoGroupParams {
     /// Target total throughput `R̃` (Eq. 1 generalised to running jobs).
     pub r_tilde_bps: f64,
@@ -253,6 +281,26 @@ mod tests {
         assert_eq!(s.r_star, 1.0);
         // r̄_zero = (0·100 + 1·800)/900.
         assert!((s.r_zero_bar - 800.0 / 900.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_into_reuses_buffers_and_matches_allocating_form() {
+        let jobs = [
+            j(1, 0.0, 1, 100.0),
+            j(2, 1.0, 1, 100.0),
+            j(3, 5.0, 1, 100.0),
+            j(4, 9.0, 1, 100.0),
+        ];
+        let mut order = Vec::new();
+        let mut out = TwoGroupSplit::default();
+        two_group_split_into(&jobs, 0.5, &mut order, &mut out);
+        assert_eq!(out, two_group_split(&jobs, 0.5));
+        // A second call with different input fully overwrites the scratch.
+        let fewer = [j(7, 3.0, 1, 10.0)];
+        two_group_split_into(&fewer, 0.5, &mut order, &mut out);
+        assert_eq!(out, two_group_split(&fewer, 0.5));
+        TwoGroupSplit::naive_into(&jobs, &mut out);
+        assert_eq!(out, TwoGroupSplit::naive(&jobs));
     }
 
     #[test]

@@ -9,12 +9,25 @@
 
 use crate::store::{MetricStore, Record, SCHEMA_FS_TOTAL, SCHEMA_JOB_IO, SCHEMA_NODES_BUSY};
 use iosched_simkit::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// How much aggregate-throughput history the daemon mirrors in its
+/// rolling deque. Queries with `window` inside this horizon are answered
+/// from the deque in O(horizon / period) — constant with respect to
+/// store size; larger windows fall back to the (indexed) store query.
+const RECENT_HORIZON: SimDuration = SimDuration::from_secs(120);
 
 /// Sampling daemon state: the store plus the sampling cadence.
 pub struct LdmsDaemon {
     store: MetricStore,
     period: SimDuration,
     next_sample: SimTime,
+    /// Rolling mirror of the trailing `RECENT_HORIZON` of `FS_TOTAL`
+    /// samples, pruned on append.
+    recent_total: VecDeque<(SimTime, f64)>,
+    /// Latest timestamp ever pruned from `recent_total` (coverage bound
+    /// for the fast path).
+    pruned_through: Option<SimTime>,
 }
 
 impl LdmsDaemon {
@@ -25,6 +38,8 @@ impl LdmsDaemon {
             store: MetricStore::new(),
             period,
             next_sample: SimTime::ZERO,
+            recent_total: VecDeque::new(),
+            pruned_through: None,
         }
     }
 
@@ -76,7 +91,28 @@ impl LdmsDaemon {
                 value: busy_nodes as f64,
             },
         );
+        self.recent_total.push_back((t, total_bps));
+        let keep_from = t.as_millis().saturating_sub(RECENT_HORIZON.as_millis());
+        while let Some(&(ft, _)) = self.recent_total.front() {
+            if ft.as_millis() >= keep_from {
+                break;
+            }
+            self.pruned_through = Some(self.pruned_through.map_or(ft, |p| p.max(ft)));
+            self.recent_total.pop_front();
+        }
         self.next_sample = t + self.period;
+    }
+
+    /// Opt the daemon's containers into store retention: keep `horizon`
+    /// of exact samples, archive older history as `bucket_ms` bucket
+    /// means (see [`crate::Container::set_retention`]). `horizon` should
+    /// exceed any query window the analytics use.
+    pub fn set_retention(&mut self, horizon: SimDuration, bucket_ms: u64) {
+        for schema in [SCHEMA_FS_TOTAL, SCHEMA_JOB_IO, SCHEMA_NODES_BUSY] {
+            self.store
+                .container_mut(schema)
+                .set_retention(horizon, bucket_ms);
+        }
     }
 
     /// Read access for the analytical services.
@@ -87,11 +123,31 @@ impl LdmsDaemon {
     /// Mean aggregate throughput over the trailing `window` ending at `now`
     /// (the measured `R_now` of paper Algorithm 2, line 2). Returns 0.0
     /// when no samples exist in the window (cold start).
+    ///
+    /// Answered from the rolling deque whenever it covers the window —
+    /// O(1) with respect to store size, and bit-identical to the store
+    /// scan because the deque holds the same samples in the same order.
     pub fn measured_total_bps(&self, now: SimTime, window: SimDuration) -> f64 {
         let from = SimTime::from_millis(now.as_millis().saturating_sub(window.as_millis()));
+        let to = now + SimDuration::from_millis(1);
+        let covered = match self.pruned_through {
+            None => true,
+            Some(p) => p < from,
+        };
+        if covered {
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for &(t, v) in &self.recent_total {
+                if t >= from && t < to {
+                    sum += v;
+                    n += 1;
+                }
+            }
+            return if n == 0 { 0.0 } else { sum / n as f64 };
+        }
         self.store
             .container(SCHEMA_FS_TOTAL)
-            .and_then(|c| c.mean_for_key(0, from, now + SimDuration::from_millis(1)))
+            .and_then(|c| c.mean_for_key(0, from, to))
             .unwrap_or(0.0)
     }
 
@@ -167,6 +223,45 @@ mod tests {
         assert_eq!(
             d.measured_total_bps(SimTime::from_secs(200), SimDuration::from_secs(10)),
             0.0
+        );
+    }
+
+    #[test]
+    fn rolling_window_matches_store_scan_past_the_horizon() {
+        // Run long enough that the deque prunes; the fast path and the
+        // store fallback must agree exactly on every window size.
+        let mut d = LdmsDaemon::new(SimDuration::from_secs(1));
+        for s in 0..400 {
+            d.sample(SimTime::from_secs(s), (s % 13) as f64, &[], 0);
+        }
+        let now = SimTime::from_secs(399);
+        for window_s in [1u64, 4, 30, 119, 200, 500] {
+            let window = SimDuration::from_secs(window_s);
+            let fast = d.measured_total_bps(now, window);
+            let from = SimTime::from_millis(now.as_millis().saturating_sub(window.as_millis()));
+            let scan = d
+                .store()
+                .container(SCHEMA_FS_TOTAL)
+                .and_then(|c| c.mean_for_key(0, from, now + SimDuration::from_millis(1)))
+                .unwrap_or(0.0);
+            assert_eq!(fast, scan, "window {window_s}s");
+        }
+    }
+
+    #[test]
+    fn retention_bounds_container_growth() {
+        let mut d = LdmsDaemon::new(SimDuration::from_secs(1));
+        d.set_retention(SimDuration::from_secs(60), 10_000);
+        for s in 0..3600 {
+            d.sample(SimTime::from_secs(s), 1.0, &[(1, 1.0)], 1);
+        }
+        let c = d.store().container(SCHEMA_FS_TOTAL).unwrap();
+        assert!(c.len() <= 80, "live set stays bounded, got {}", c.len());
+        assert!(c.archive().is_some());
+        // Recent window is still exact.
+        assert_eq!(
+            d.measured_total_bps(SimTime::from_secs(3599), SimDuration::from_secs(30)),
+            1.0
         );
     }
 

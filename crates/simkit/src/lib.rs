@@ -43,6 +43,7 @@ pub mod queue;
 pub mod rng;
 pub mod series;
 pub mod stats;
+pub mod sym;
 pub mod time;
 pub mod units;
 
@@ -52,4 +53,5 @@ pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use series::TimeSeries;
 pub use stats::{BoxStats, Histogram, OnlineStats};
+pub use sym::{Sym, SymbolTable};
 pub use time::{SimDuration, SimTime};

@@ -64,8 +64,27 @@ pub fn backfill_pass<P: SchedulingPolicy>(
     total_nodes: usize,
     cfg: &BackfillConfig,
 ) -> SchedulingOutcome {
-    let mut tracker = policy.init_tracker(running, queue, now, total_nodes);
     let mut outcome = SchedulingOutcome::default();
+    backfill_pass_into(policy, running, queue, now, total_nodes, cfg, &mut outcome);
+    outcome
+}
+
+/// [`backfill_pass`] writing into a caller-owned outcome, clearing it
+/// first. Reusing one outcome across rounds keeps the steady-state
+/// scheduling pass allocation-free.
+pub fn backfill_pass_into<P: SchedulingPolicy>(
+    policy: &mut P,
+    running: &[RunningView<'_>],
+    queue: &[&SchedJob],
+    now: SimTime,
+    total_nodes: usize,
+    cfg: &BackfillConfig,
+    outcome: &mut SchedulingOutcome,
+) {
+    outcome.start_now.clear();
+    outcome.reservations.clear();
+    outcome.skipped.clear();
+    let mut tracker = policy.init_tracker(running, queue, now, total_nodes);
     let mut backfill_count = 0usize;
 
     for job in queue {
@@ -81,7 +100,6 @@ pub fn backfill_pass<P: SchedulingPolicy>(
             backfill_count += 1;
         }
     }
-    outcome
 }
 
 #[cfg(test)]

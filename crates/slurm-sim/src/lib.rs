@@ -26,7 +26,7 @@ pub mod policy;
 pub mod profile;
 pub mod registry;
 
-pub use backfill::{backfill_pass, BackfillConfig, SchedulingOutcome};
+pub use backfill::{backfill_pass, backfill_pass_into, BackfillConfig, SchedulingOutcome};
 pub use iosched_simkit::ids::JobId;
 pub use licenses::LicenseRequirements;
 pub use policy::{NodePolicy, ReservationTracker, RunningView, SchedJob, SchedulingPolicy};

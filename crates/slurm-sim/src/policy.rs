@@ -11,6 +11,7 @@
 use crate::licenses::LicenseRequirements;
 use crate::profile::ResourceProfile;
 use iosched_simkit::ids::JobId;
+use iosched_simkit::sym::Sym;
 use iosched_simkit::time::{SimDuration, SimTime};
 
 /// Scheduler-visible job metadata — what the user provides at submission
@@ -24,6 +25,11 @@ pub struct SchedJob {
     pub id: JobId,
     /// Job (script) name; jobs with equal names are "similar".
     pub name: String,
+    /// Interned handle for `name` in the simulation's symbol table
+    /// ([`Sym::NONE`] when no analytics are attached). The driver sets
+    /// this at submission so the per-completion estimator path never
+    /// touches the `String`.
+    pub name_sym: Sym,
     /// Nodes required (`n_j`).
     pub nodes: usize,
     /// Requested runtime limit (`L_j`). Reservations always span `L_j`.
@@ -42,6 +48,7 @@ pub struct SchedJob {
 iosched_simkit::impl_json_struct!(SchedJob {
     id,
     name,
+    name_sym,
     nodes,
     limit,
     submit,
@@ -62,6 +69,7 @@ impl SchedJob {
         SchedJob {
             id,
             name: name.into(),
+            name_sym: Sym::NONE,
             nodes,
             limit,
             submit,
@@ -74,6 +82,12 @@ impl SchedJob {
     /// Builder-style priority setter.
     pub fn with_priority(mut self, priority: i64) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Builder-style interned-name setter.
+    pub fn with_name_sym(mut self, sym: Sym) -> Self {
+        self.name_sym = sym;
         self
     }
 
@@ -127,60 +141,100 @@ pub trait ReservationTracker {
 
 /// A scheduling policy: builds the tracker at the beginning of each
 /// scheduling round (`InitializeReservationTracker`).
+///
+/// The tracker is a *generic associated type* borrowing from the policy:
+/// policies own pooled scratch (profiles, license tables) that trackers
+/// mutate in place, so a steady-state scheduling round performs no heap
+/// allocation. Exactly one tracker can exist per policy at a time — the
+/// same discipline Slurm's backfill plugin imposes per scheduling round.
 pub trait SchedulingPolicy {
-    /// Tracker type produced each round.
-    type Tracker: ReservationTracker;
+    /// Tracker type produced each round, borrowing the policy's scratch.
+    type Tracker<'a>: ReservationTracker
+    where
+        Self: 'a;
 
     /// Build the round's tracker from the running set and the wait queue.
     /// `queue` is in priority order. `total_nodes` is the cluster size `N`.
-    fn init_tracker(
-        &mut self,
+    fn init_tracker<'a>(
+        &'a mut self,
         running: &[RunningView<'_>],
         queue: &[&SchedJob],
         now: SimTime,
         total_nodes: usize,
-    ) -> Self::Tracker;
+    ) -> Self::Tracker<'a>;
 }
 
 /// Stock Slurm behaviour: nodes are the only tracked resource (licenses
-/// too, when jobs request them).
+/// too, when jobs request them). Owns the profile scratch its trackers
+/// borrow; reused (not reallocated) across rounds.
 #[derive(Clone, Debug, Default)]
 pub struct NodePolicy {
     /// Cluster-wide license pools (name → total count). Empty by default.
     pub license_totals: crate::licenses::LicensePools,
+    nodes_scratch: ResourceProfile,
+    licenses_scratch: Vec<(String, ResourceProfile)>,
 }
 
 /// Tracker built by [`NodePolicy`]: a node profile plus one profile per
-/// license pool.
-pub struct NodeTracker {
-    nodes: ResourceProfile,
-    licenses: Vec<(String, ResourceProfile)>,
+/// license pool, borrowed from the policy's pooled scratch.
+pub struct NodeTracker<'a> {
+    nodes: &'a mut ResourceProfile,
+    licenses: &'a mut [(String, ResourceProfile)],
 }
 
-impl NodeTracker {
+impl NodeTracker<'_> {
     /// Direct access to the node profile (used by the I/O-aware policy,
     /// which composes with the stock node tracking).
     pub fn node_profile(&self) -> &ResourceProfile {
-        &self.nodes
+        self.nodes
+    }
+}
+
+impl NodePolicy {
+    /// Reset the pooled profiles for a new round. License profiles are
+    /// reused in place while the pool names are unchanged (the common
+    /// case); the name strings are recloned only when `license_totals`
+    /// was edited between rounds.
+    fn reset_scratch(&mut self, total_nodes: usize) {
+        self.nodes_scratch.reset(total_nodes as f64);
+        let unchanged = self.licenses_scratch.len() == self.license_totals.len()
+            && self
+                .licenses_scratch
+                .iter()
+                .zip(self.license_totals.iter())
+                .all(|((have, _), (want, _))| have == want);
+        if unchanged {
+            for ((_, profile), (_, &total)) in self
+                .licenses_scratch
+                .iter_mut()
+                .zip(self.license_totals.iter())
+            {
+                profile.reset(total);
+            }
+        } else {
+            self.licenses_scratch.clear();
+            self.licenses_scratch.extend(
+                self.license_totals
+                    .iter()
+                    .map(|(name, &total)| (name.clone(), ResourceProfile::new(total))),
+            );
+        }
     }
 }
 
 impl SchedulingPolicy for NodePolicy {
-    type Tracker = NodeTracker;
+    type Tracker<'a> = NodeTracker<'a>;
 
-    fn init_tracker(
-        &mut self,
+    fn init_tracker<'a>(
+        &'a mut self,
         running: &[RunningView<'_>],
         _queue: &[&SchedJob],
         now: SimTime,
         total_nodes: usize,
-    ) -> NodeTracker {
-        let mut nodes = ResourceProfile::new(total_nodes as f64);
-        let mut licenses: Vec<(String, ResourceProfile)> = self
-            .license_totals
-            .iter()
-            .map(|(name, &total)| (name.clone(), ResourceProfile::new(total)))
-            .collect();
+    ) -> NodeTracker<'a> {
+        self.reset_scratch(total_nodes);
+        let nodes = &mut self.nodes_scratch;
+        let licenses = self.licenses_scratch.as_mut_slice();
         for rv in running {
             let end = rv.reservation_end(now);
             nodes.reserve(rv.job.nodes as f64, rv.started, end);
@@ -195,7 +249,7 @@ impl SchedulingPolicy for NodePolicy {
     }
 }
 
-impl ReservationTracker for NodeTracker {
+impl ReservationTracker for NodeTracker<'_> {
     fn earliest_start(&mut self, job: &SchedJob, t_min: SimTime) -> SimTime {
         // Fixpoint over all resource dimensions, mirroring the paper's
         // Algorithm 4 structure generalised to N dimensions: repeat until
@@ -204,7 +258,7 @@ impl ReservationTracker for NodeTracker {
         loop {
             let start = t;
             t = self.nodes.earliest_fit(t, job.limit, job.nodes as f64);
-            for (name, profile) in &self.licenses {
+            for (name, profile) in self.licenses.iter() {
                 let amount = job.licenses.get(name);
                 if amount > 0.0 {
                     t = profile.earliest_fit(t, job.limit, amount);

@@ -17,7 +17,6 @@
 //! jobs); usage is allowed to dip below zero.
 
 use iosched_simkit::time::{SimDuration, SimTime};
-use std::collections::BTreeMap;
 
 /// Relative tolerance used when comparing usage against capacity, so that
 /// reserving exactly the remaining capacity still "fits".
@@ -26,11 +25,23 @@ fn eps_for(cap: f64) -> f64 {
 }
 
 /// A step function of reserved amount over time, with a fixed capacity.
+///
+/// Breakpoints live in a sorted `Vec` (not a `BTreeMap`): reservations at
+/// an existing breakpoint accumulate in place, queries binary-search, and
+/// [`Self::reset`] retains the allocation so pooled profiles make the
+/// steady-state scheduling pass allocation-free.
 #[derive(Clone, Debug)]
 pub struct ResourceProfile {
     capacity: f64,
-    /// Change of the reserved amount at each breakpoint.
-    deltas: BTreeMap<SimTime, f64>,
+    /// `(breakpoint, change of the reserved amount)`, sorted by time with
+    /// at most one entry per instant.
+    deltas: Vec<(SimTime, f64)>,
+}
+
+impl Default for ResourceProfile {
+    fn default() -> Self {
+        ResourceProfile::new(0.0)
+    }
 }
 
 impl ResourceProfile {
@@ -39,7 +50,7 @@ impl ResourceProfile {
         assert!(capacity.is_finite(), "capacity must be finite");
         ResourceProfile {
             capacity,
-            deltas: BTreeMap::new(),
+            deltas: Vec::new(),
         }
     }
 
@@ -48,19 +59,37 @@ impl ResourceProfile {
         self.capacity
     }
 
+    /// Clear all reservations and set a new capacity, keeping the
+    /// breakpoint allocation for reuse.
+    pub fn reset(&mut self, capacity: f64) {
+        assert!(capacity.is_finite(), "capacity must be finite");
+        self.capacity = capacity;
+        self.deltas.clear();
+    }
+
+    /// Accumulate `d` at breakpoint `t` (same float accumulation order as
+    /// the old `BTreeMap::entry` implementation).
+    fn add_delta(&mut self, t: SimTime, d: f64) {
+        match self.deltas.binary_search_by_key(&t, |e| e.0) {
+            Ok(i) => self.deltas[i].1 += d,
+            Err(i) => self.deltas.insert(i, (t, d)),
+        }
+    }
+
     /// Reserve `amount` (may be negative) over `[start, end)`. Empty or
     /// inverted intervals are ignored.
     pub fn reserve(&mut self, amount: f64, start: SimTime, end: SimTime) {
         if end <= start || amount == 0.0 {
             return;
         }
-        *self.deltas.entry(start).or_insert(0.0) += amount;
-        *self.deltas.entry(end).or_insert(0.0) -= amount;
+        self.add_delta(start, amount);
+        self.add_delta(end, -amount);
     }
 
     /// Total reserved amount at time `t`.
     pub fn usage_at(&self, t: SimTime) -> f64 {
-        self.deltas.range(..=t).map(|(_, &d)| d).sum()
+        let hi = self.deltas.partition_point(|e| e.0 <= t);
+        self.deltas[..hi].iter().map(|e| e.1).sum()
     }
 
     /// Maximum reserved amount over `[start, end)`; `usage_at(start)` if
@@ -72,10 +101,9 @@ impl ResourceProfile {
         }
         let mut usage = self.usage_at(start);
         let mut max = usage;
-        for (_, &d) in self.deltas.range((
-            std::ops::Bound::Excluded(start),
-            std::ops::Bound::Excluded(end),
-        )) {
+        let lo = self.deltas.partition_point(|e| e.0 <= start);
+        let hi = self.deltas.partition_point(|e| e.0 < end);
+        for &(_, d) in &self.deltas[lo..hi] {
             usage += d;
             max = max.max(usage);
         }
@@ -106,9 +134,8 @@ impl ResourceProfile {
             // because each iteration passes at least one breakpoint.
             let next = self
                 .deltas
-                .range((std::ops::Bound::Excluded(t), std::ops::Bound::Unbounded))
-                .next()
-                .map(|(&bt, _)| bt);
+                .get(self.deltas.partition_point(|e| e.0 <= t))
+                .map(|e| e.0);
             match next {
                 Some(bt) => t = bt,
                 None => return SimTime::FAR_FUTURE,
@@ -127,7 +154,7 @@ impl ResourceProfile {
         let mut usage = 0.0;
         self.deltas
             .iter()
-            .map(|(&t, &d)| {
+            .map(|&(t, d)| {
                 usage += d;
                 (t, usage)
             })
@@ -270,6 +297,18 @@ mod tests {
         p.reserve(10.0, t(0), t(10));
         // dur = 0 behaves like a 1 ms window.
         assert_eq!(p.earliest_fit(t(0), SimDuration::ZERO, 1.0), t(10));
+    }
+
+    #[test]
+    fn reset_clears_reservations_and_swaps_capacity() {
+        let mut p = ResourceProfile::new(10.0);
+        p.reserve(4.0, t(0), t(10));
+        p.reset(5.0);
+        assert_eq!(p.capacity(), 5.0);
+        assert!(p.steps().is_empty());
+        assert_eq!(p.usage_at(t(5)), 0.0);
+        p.reserve(2.0, t(0), t(10));
+        assert_eq!(p.usage_at(t(5)), 2.0);
     }
 
     props! {

@@ -52,9 +52,32 @@ struct Entry {
 }
 
 /// The job table.
+///
+/// Besides the id-keyed table, the registry maintains incremental
+/// pending/running id lists and a finished counter so the per-pass
+/// queries (`wait_queue_ordered`, `running_views`, `all_completed`,
+/// `overrunning`, `next_limit_expiry`) touch only the jobs in the
+/// relevant state instead of scanning the whole table. The lists are
+/// unordered (`swap_remove` on transitions); every consumer sorts by a
+/// total-order key, so results are identical to the old full scans.
 #[derive(Clone, Debug, Default)]
 pub struct JobRegistry {
     jobs: BTreeMap<JobId, Entry>,
+    /// Ids currently `Pending`, unordered.
+    pending: Vec<JobId>,
+    /// Ids currently `Running`, unordered.
+    running: Vec<JobId>,
+    /// Count of `Completed` + `TimedOut` jobs.
+    finished: usize,
+}
+
+/// Drop `id` from an unordered state list.
+fn unlist(list: &mut Vec<JobId>, id: JobId) {
+    let pos = list
+        .iter()
+        .position(|&x| x == id)
+        .unwrap_or_else(|| panic!("{id} missing from state list"));
+    list.swap_remove(pos);
 }
 
 impl JobRegistry {
@@ -77,6 +100,7 @@ impl JobRegistry {
             },
         );
         assert!(prev.is_none(), "duplicate submission of {id}");
+        self.pending.push(id);
     }
 
     /// Number of submitted jobs (any state).
@@ -107,6 +131,8 @@ impl JobRegistry {
             .unwrap_or_else(|| panic!("unknown {id}"));
         assert_eq!(e.state, JobState::Pending, "{id} is not pending");
         e.state = JobState::Running { started: t };
+        unlist(&mut self.pending, id);
+        self.running.push(id);
     }
 
     /// Transition a running job to completed at `t`.
@@ -121,6 +147,8 @@ impl JobRegistry {
             }
             other => panic!("{id} is not running (state {other:?})"),
         }
+        unlist(&mut self.running, id);
+        self.finished += 1;
     }
 
     /// Transition a running job to timed-out (killed at its limit) at `t`.
@@ -135,6 +163,8 @@ impl JobRegistry {
             }
             other => panic!("{id} is not running (state {other:?})"),
         }
+        unlist(&mut self.running, id);
+        self.finished += 1;
     }
 
     /// Pending jobs submitted at or before `now`, FIFO-ordered.
@@ -146,23 +176,45 @@ impl JobRegistry {
     /// priority policy.
     pub fn wait_queue_ordered(&self, now: SimTime, policy: PriorityPolicy) -> Vec<&SchedJob> {
         let mut q: Vec<&SchedJob> = self
-            .jobs
-            .values()
-            .filter(|e| {
-                e.state == JobState::Pending
-                    && e.meta.submit <= now
-                    && self.dependencies_met(&e.meta)
-            })
-            .map(|e| &e.meta)
+            .pending
+            .iter()
+            .map(|id| &self.jobs[id].meta)
+            .filter(|m| m.submit <= now && self.dependencies_met(m))
             .collect();
+        // Every sort key ends in the unique job id (a total order), so
+        // the unstable sort is deterministic and matches the old stable
+        // sort over the id-ordered table scan.
         match policy {
-            PriorityPolicy::Fifo => q.sort_by_key(|j| (j.submit, j.id)),
+            PriorityPolicy::Fifo => q.sort_unstable_by_key(|j| (j.submit, j.id)),
             PriorityPolicy::Priority => {
-                q.sort_by_key(|j| (std::cmp::Reverse(j.priority), j.submit, j.id))
+                q.sort_unstable_by_key(|j| (std::cmp::Reverse(j.priority), j.submit, j.id))
             }
-            PriorityPolicy::ShortestLimitFirst => q.sort_by_key(|j| (j.limit, j.submit, j.id)),
+            PriorityPolicy::ShortestLimitFirst => {
+                q.sort_unstable_by_key(|j| (j.limit, j.submit, j.id))
+            }
         }
         q
+    }
+
+    /// [`Self::wait_queue_ordered`] by id, into a caller-owned buffer
+    /// (cleared first). The reusable buffer keeps the steady-state
+    /// scheduling pass allocation-free.
+    pub fn wait_queue_ids_into(&self, now: SimTime, policy: PriorityPolicy, out: &mut Vec<JobId>) {
+        out.clear();
+        out.extend(self.pending.iter().copied().filter(|id| {
+            let m = &self.jobs[id].meta;
+            m.submit <= now && self.dependencies_met(m)
+        }));
+        let meta = |id: &JobId| &self.jobs[id].meta;
+        match policy {
+            PriorityPolicy::Fifo => out.sort_unstable_by_key(|id| (meta(id).submit, *id)),
+            PriorityPolicy::Priority => out.sort_unstable_by_key(|id| {
+                (std::cmp::Reverse(meta(id).priority), meta(id).submit, *id)
+            }),
+            PriorityPolicy::ShortestLimitFirst => {
+                out.sort_unstable_by_key(|id| (meta(id).limit, meta(id).submit, *id))
+            }
+        }
     }
 
     /// True when every dependency of `job` has finished (`afterok`
@@ -177,38 +229,52 @@ impl JobRegistry {
         })
     }
 
-    /// Views of the currently running jobs.
+    /// Views of the currently running jobs, in id order.
     pub fn running_views(&self) -> Vec<RunningView<'_>> {
-        self.jobs
-            .values()
-            .filter_map(|e| match e.state {
-                JobState::Running { started } => Some(RunningView {
+        let mut v: Vec<RunningView<'_>> = self
+            .running
+            .iter()
+            .map(|id| {
+                let e = &self.jobs[id];
+                let JobState::Running { started } = e.state else {
+                    unreachable!("{id} listed running but is {:?}", e.state)
+                };
+                RunningView {
                     job: &e.meta,
                     started,
-                }),
-                _ => None,
+                }
             })
-            .collect()
+            .collect();
+        v.sort_unstable_by_key(|rv| rv.job.id);
+        v
+    }
+
+    /// Running `(id, started)` pairs in id order, into a caller-owned
+    /// buffer (cleared first).
+    pub fn running_ids_into(&self, out: &mut Vec<(JobId, SimTime)>) {
+        out.clear();
+        out.extend(self.running.iter().map(|id| {
+            let JobState::Running { started } = self.jobs[id].state else {
+                unreachable!("{id} listed running")
+            };
+            (*id, started)
+        }));
+        out.sort_unstable_by_key(|&(id, _)| id);
     }
 
     /// Earliest future submission strictly after `now` (for event-driven
     /// drivers with staggered arrivals).
     pub fn next_submission_after(&self, now: SimTime) -> Option<SimTime> {
-        self.jobs
-            .values()
-            .filter(|e| e.state == JobState::Pending && e.meta.submit > now)
-            .map(|e| e.meta.submit)
+        self.pending
+            .iter()
+            .map(|id| self.jobs[id].meta.submit)
+            .filter(|&s| s > now)
             .min()
     }
 
     /// True when every job has finished (completed or timed out).
     pub fn all_completed(&self) -> bool {
-        self.jobs.values().all(|e| {
-            matches!(
-                e.state,
-                JobState::Completed { .. } | JobState::TimedOut { .. }
-            )
-        })
+        self.finished == self.jobs.len()
     }
 
     /// Completion time of the last job — the workload *makespan* — if all
@@ -249,24 +315,35 @@ impl JobRegistry {
     }
 
     /// Running jobs whose limit expires at or before `t`, with their
-    /// start times (candidates for limit enforcement).
+    /// start times (candidates for limit enforcement), in id order.
     pub fn overrunning(&self, t: SimTime) -> Vec<(JobId, SimTime)> {
-        self.jobs
+        let mut v: Vec<(JobId, SimTime)> = self
+            .running
             .iter()
-            .filter_map(|(&id, e)| match e.state {
-                JobState::Running { started } if started + e.meta.limit <= t => Some((id, started)),
-                _ => None,
+            .filter_map(|id| {
+                let e = &self.jobs[id];
+                match e.state {
+                    JobState::Running { started } if started + e.meta.limit <= t => {
+                        Some((*id, started))
+                    }
+                    _ => None,
+                }
             })
-            .collect()
+            .collect();
+        v.sort_unstable_by_key(|&(id, _)| id);
+        v
     }
 
     /// Earliest future limit expiry among running jobs.
     pub fn next_limit_expiry(&self) -> Option<SimTime> {
-        self.jobs
-            .values()
-            .filter_map(|e| match e.state {
-                JobState::Running { started } => Some(started + e.meta.limit),
-                _ => None,
+        self.running
+            .iter()
+            .filter_map(|id| {
+                let e = &self.jobs[id];
+                match e.state {
+                    JobState::Running { started } => Some(started + e.meta.limit),
+                    _ => None,
+                }
             })
             .min()
     }
@@ -464,5 +541,96 @@ mod tests {
         let mut reg = JobRegistry::new();
         reg.submit(job(1, 0));
         reg.mark_completed(JobId(1), SimTime::from_secs(1));
+    }
+
+    use iosched_simkit::{prop, prop_assert_eq, props};
+
+    props! {
+        #![cases(64)]
+
+        /// The incremental pending/running lists and finished counter
+        /// agree with a full state scan after any lifecycle history.
+        fn incremental_state_sets_match_full_scan(
+            submits in prop::vec(0u64..20, 1..20),
+            ops in prop::vec((0u64..3, 0u64..32), 0..48),
+            probe in 0u64..40,
+        ) {
+            let mut reg = JobRegistry::new();
+            for (i, &s) in submits.iter().enumerate() {
+                reg.submit(job(i as u64, s));
+            }
+            let n = submits.len() as u64;
+            let mut clock = 20u64;
+            for &(kind, pick) in &ops {
+                let id = JobId(pick % n);
+                clock += 1;
+                let t = SimTime::from_secs(clock);
+                match (kind, reg.state(id)) {
+                    (0, Some(JobState::Pending)) => reg.mark_started(id, t),
+                    (1, Some(JobState::Running { .. })) => reg.mark_completed(id, t),
+                    (2, Some(JobState::Running { .. })) => reg.mark_timed_out(id, t),
+                    _ => {}
+                }
+            }
+            let now = SimTime::from_secs(probe);
+            let all = || (0..n).map(JobId);
+
+            // Wait queue (both APIs) vs a full-scan oracle.
+            let mut expect: Vec<JobId> = all()
+                .filter(|&id| {
+                    reg.state(id) == Some(JobState::Pending)
+                        && reg.meta(id).unwrap().submit <= now
+                })
+                .collect();
+            expect.sort_by_key(|&id| (reg.meta(id).unwrap().submit, id));
+            let got: Vec<JobId> = reg
+                .wait_queue_ordered(now, PriorityPolicy::Fifo)
+                .iter()
+                .map(|j| j.id)
+                .collect();
+            prop_assert_eq!(&got, &expect);
+            let mut buf = Vec::new();
+            reg.wait_queue_ids_into(now, PriorityPolicy::Fifo, &mut buf);
+            prop_assert_eq!(&buf, &expect);
+
+            // Running set (both APIs), id-ordered.
+            let expect_running: Vec<JobId> = all()
+                .filter(|&id| matches!(reg.state(id), Some(JobState::Running { .. })))
+                .collect();
+            let got_running: Vec<JobId> =
+                reg.running_views().iter().map(|rv| rv.job.id).collect();
+            prop_assert_eq!(&got_running, &expect_running);
+            let mut rbuf = Vec::new();
+            reg.running_ids_into(&mut rbuf);
+            let rids: Vec<JobId> = rbuf.iter().map(|&(id, _)| id).collect();
+            prop_assert_eq!(&rids, &expect_running);
+
+            // Scalar queries.
+            prop_assert_eq!(
+                reg.all_completed(),
+                all().all(|id| matches!(
+                    reg.state(id),
+                    Some(JobState::Completed { .. }) | Some(JobState::TimedOut { .. })
+                ))
+            );
+            prop_assert_eq!(
+                reg.next_submission_after(now),
+                all()
+                    .filter(|&id| reg.state(id) == Some(JobState::Pending))
+                    .map(|id| reg.meta(id).unwrap().submit)
+                    .filter(|&s| s > now)
+                    .min()
+            );
+            prop_assert_eq!(
+                reg.next_limit_expiry(),
+                all()
+                    .filter_map(|id| match reg.state(id) {
+                        Some(JobState::Running { started }) =>
+                            Some(started + reg.meta(id).unwrap().limit),
+                        _ => None,
+                    })
+                    .min()
+            );
+        }
     }
 }

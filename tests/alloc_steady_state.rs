@@ -1,0 +1,188 @@
+//! The per-pass scheduling path must be allocation-free in steady state.
+//!
+//! This pins the PR's core claim: once the reusable buffers (queue ids,
+//! queue refs, running views, outcome) and the policy-owned scratch
+//! (profiles, split buffers) have reached working size, a full
+//! scheduling round — wait-queue query, running views, book hand-off,
+//! backfill pass — performs **zero** heap allocations, for the default,
+//! I/O-aware and adaptive policies alike.
+//!
+//! Methodology: a counting [`GlobalAlloc`] wrapper tallies every
+//! `alloc`/`realloc`/`alloc_zeroed`. After warm-up rounds, the test
+//! measures several windows of identical rounds and asserts the
+//! *minimum* window delta is zero (the minimum shrugs off any stray
+//! allocation from the test harness itself).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use iosched_analytics::JobEstimate;
+use iosched_core::{AdaptiveConfig, AdaptivePolicy, EstimateBook, IoAwareConfig, IoAwarePolicy};
+use iosched_simkit::ids::JobId;
+use iosched_simkit::time::{SimDuration, SimTime};
+use iosched_simkit::units::gibps;
+use iosched_slurm::policy::{NodePolicy, SchedulingPolicy};
+use iosched_slurm::{
+    backfill_pass_into, BackfillConfig, JobRegistry, PriorityPolicy, RunningView, SchedJob,
+    SchedulingOutcome,
+};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// 320 jobs: 5 running (11 of 15 nodes busy), 315 pending — a deep
+/// queue in the paper's `bf_max_job_test` regime, with mixed widths and
+/// limits.
+fn job_table() -> Vec<SchedJob> {
+    (0..320u64)
+        .map(|i| {
+            SchedJob::new(
+                JobId(i),
+                format!("job{}", i % 8),
+                1 + (i % 4) as usize,
+                SimDuration::from_secs(600 + (i % 7) * 60),
+                SimTime::ZERO,
+            )
+        })
+        .collect()
+}
+
+/// Run identical scheduling rounds against `policy` and return the
+/// minimum allocation delta over several measured windows (after
+/// warm-up). `pre`/`post` bracket each round with the book hand-off the
+/// driver performs for the I/O-aware policies.
+fn steady_state_allocs<P>(
+    policy: &mut P,
+    pre: impl Fn(&mut P, &mut EstimateBook),
+    post: impl Fn(&mut P, &mut EstimateBook),
+) -> u64
+where
+    P: SchedulingPolicy,
+{
+    let jobs = job_table();
+    let mut registry = JobRegistry::new();
+    for j in &jobs {
+        registry.submit(j.clone());
+    }
+    for id in 0..5u64 {
+        registry.mark_started(JobId(id), SimTime::from_secs(id));
+    }
+    let now = SimTime::from_secs(30);
+    let total_nodes = 15;
+    let bf = BackfillConfig::default();
+
+    let mut book = EstimateBook::new();
+    for j in &jobs {
+        book.insert(
+            j.id,
+            JobEstimate {
+                throughput_bps: gibps(0.1) * (1 + j.id.0 % 5) as f64,
+                runtime: SimDuration::from_secs(120 + (j.id.0 % 9) * 30),
+            },
+        );
+    }
+    book.measured_total_bps = gibps(4.0);
+
+    let mut queue_ids: Vec<JobId> = Vec::new();
+    let mut queue_refs: Vec<&SchedJob> = Vec::new();
+    let mut running_pairs: Vec<(JobId, SimTime)> = Vec::new();
+    let mut running_views: Vec<RunningView<'_>> = Vec::new();
+    let mut outcome = SchedulingOutcome::default();
+
+    let entry = |id: JobId| &jobs[id.0 as usize];
+    let mut round = |policy: &mut P, book: &mut EstimateBook| {
+        registry.wait_queue_ids_into(now, PriorityPolicy::Fifo, &mut queue_ids);
+        queue_ids.truncate(500);
+        queue_refs.clear();
+        queue_refs.extend(queue_ids.iter().map(|&id| entry(id)));
+        registry.running_ids_into(&mut running_pairs);
+        running_views.clear();
+        running_views.extend(running_pairs.iter().map(|&(id, started)| RunningView {
+            job: entry(id),
+            started,
+        }));
+        pre(policy, book);
+        backfill_pass_into(
+            policy,
+            &running_views,
+            &queue_refs,
+            now,
+            total_nodes,
+            &bf,
+            &mut outcome,
+        );
+        post(policy, book);
+        assert!(!outcome.start_now.is_empty(), "rounds must do real work");
+    };
+
+    // Warm-up: let every reusable buffer reach its working capacity.
+    for _ in 0..5 {
+        round(policy, &mut book);
+    }
+
+    let mut best = u64::MAX;
+    for _ in 0..3 {
+        let before = allocations();
+        for _ in 0..10 {
+            round(policy, &mut book);
+        }
+        best = best.min(allocations() - before);
+    }
+    best
+}
+
+#[test]
+fn scheduler_pass_is_allocation_free_in_steady_state() {
+    let noop = |_: &mut _, _: &mut EstimateBook| {};
+
+    let mut node = NodePolicy::default();
+    let d = steady_state_allocs(&mut node, noop, noop);
+    assert_eq!(d, 0, "default backfill pass allocated {d} times per window");
+
+    let mut io = IoAwarePolicy::new(IoAwareConfig {
+        limit_bps: gibps(20.0),
+    });
+    let d = steady_state_allocs(
+        &mut io,
+        |p: &mut IoAwarePolicy, book| p.begin_round(std::mem::take(book)),
+        |p, book| *book = p.take_book(),
+    );
+    assert_eq!(d, 0, "io-aware pass allocated {d} times per window");
+
+    let mut adaptive = AdaptivePolicy::new(AdaptiveConfig::paper(gibps(20.0)));
+    let d = steady_state_allocs(
+        &mut adaptive,
+        |p: &mut AdaptivePolicy, book| p.begin_round(std::mem::take(book)),
+        |p, book| *book = p.take_book(),
+    );
+    assert_eq!(d, 0, "adaptive pass allocated {d} times per window");
+}

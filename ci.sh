@@ -8,6 +8,9 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+# Every build in this gate treats warnings as errors.
+export RUSTFLAGS="-D warnings"
+
 step() { printf '\n== %s ==\n' "$*"; }
 
 step "format check"
@@ -44,6 +47,19 @@ cargo run --release --offline -p iosched-bench --bin bench_diff -- \
     --gate 2.0 "$micro_baseline" results/bench/BENCH_micro.json
 cp "$micro_baseline" results/bench/BENCH_micro.json
 rm -f "$micro_baseline"
+
+step "bench gate: fig6 campaign timings and event counts within 2x of baseline"
+# Same stash/measure/gate/restore dance. Beyond timings, this file
+# carries deterministic `events/<label>` counters (total event-loop
+# iterations per campaign), so an event-count blowup fails the gate even
+# when wall-clock noise hides it.
+fig6_baseline="$(mktemp)"
+cp results/bench/BENCH_fig6_campaign.json "$fig6_baseline"
+cargo bench --offline -p iosched-bench --bench fig6_campaign
+cargo run --release --offline -p iosched-bench --bin bench_diff -- \
+    --gate 2.0 "$fig6_baseline" results/bench/BENCH_fig6_campaign.json
+cp "$fig6_baseline" results/bench/BENCH_fig6_campaign.json
+rm -f "$fig6_baseline"
 
 step "bench smoke (emits results/bench/BENCH_*.json)"
 for suite in fig3_workload1 fig4_throughput fig5_workload2 fig6_campaign; do

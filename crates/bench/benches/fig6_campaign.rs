@@ -67,9 +67,19 @@ fn main() {
 
     for kind in configs {
         let cfg = ExperimentConfig::paper(kind, 0);
-        suite.bench(&kind.label(), || {
+        let label = kind.label();
+        suite.bench(&label, || {
             black_box(run_campaign(&cfg, &workload, &seeds).median_makespan_secs());
         });
+        // Deterministic event-loop iteration count (gated by `bench_diff
+        // --gate`: an event blowup fails CI even when wall-time noise
+        // hides it), plus report-only events/sec from one timed campaign.
+        let start = std::time::Instant::now();
+        let camp = run_campaign(&cfg, &workload, &seeds);
+        let elapsed = start.elapsed().as_secs_f64();
+        let events = camp.total_loop_iterations() as f64;
+        suite.counter(&format!("events/{label}"), events);
+        suite.meta(&format!("events_per_sec/{label}"), events / elapsed);
     }
     suite.finish();
 }

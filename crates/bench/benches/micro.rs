@@ -3,9 +3,10 @@
 //! pass, the estimator, and the event queue.
 
 use iosched_analytics::JobEstimator;
+use iosched_cluster::{ClusterSim, ExecSpec, JobId as ClusterJobId};
 use iosched_core::{AdaptiveConfig, AdaptivePolicy, EstimateBook, IoAwareConfig, IoAwarePolicy};
 use iosched_ldms::store::{Container, Record};
-use iosched_lustre::solver::{max_min_fair, Constraint, IndexedSolver};
+use iosched_lustre::solver::{max_min_fair, Constraint, IndexedSolver, WarmSolver};
 use iosched_lustre::{FsSnapshot, LustreConfig, LustreSim, StreamTag};
 use iosched_simkit::bench::BenchSuite;
 use iosched_simkit::ids::JobId;
@@ -164,6 +165,43 @@ fn main() {
             indexed.push_constraint(c.capacity, &members);
         }
         black_box(indexed.solve()[0]);
+    });
+
+    // Warm-start repair vs. full indexed re-encode on single-stream
+    // churn: one leave + one join on the same 1200-flow system, solving
+    // after each — the file system's per-event pattern.
+    let nodes15 = 15usize;
+    let osts = 56usize;
+    let n_cons = nodes15 + osts + 1;
+    let fabric = (n_cons - 1) as u32;
+    let mut warm = WarmSolver::new();
+    warm.reset(n_cons, 3, 0.45);
+    for c in 0..nodes15 {
+        warm.set_con_cap(c, 5.0);
+    }
+    for o in 0..osts {
+        warm.set_con_cap(nodes15 + o, 0.9);
+    }
+    warm.set_con_cap(n_cons - 1, 22.0);
+    for i in 0..n_large {
+        warm.add_flow(&[(i % nodes15) as u32, (nodes15 + i % osts) as u32, fabric]);
+    }
+    suite.bench("solver_churn_1200_streams/warm_repair", || {
+        warm.remove_flow_swap(0);
+        black_box(warm.solve()[0]);
+        warm.add_flow(&[0, nodes15 as u32, fabric]);
+        black_box(warm.solve()[0]);
+    });
+    suite.bench("solver_churn_1200_streams/full_recompute", || {
+        for _ in 0..2 {
+            indexed.begin(n_large, 0.45);
+            for c in &large[n_large..] {
+                members.clear();
+                members.extend(c.members.iter().map(|&m| m as u32));
+                indexed.push_constraint(c.capacity, &members);
+            }
+            black_box(indexed.solve()[0]);
+        }
     });
 
     let mut fs = loaded_fs(80); // 15 × 80 = 1200 streams
@@ -353,6 +391,29 @@ fn main() {
             &mut outcome,
         );
         black_box(outcome.start_now.len());
+    });
+
+    // Event-calendar vs. activity-scan `next_event_time` with 1 000
+    // running timed jobs: the O(1) calendar peek against the
+    // O(running-jobs) oracle scan it replaced.
+    let mut big = ClusterSim::new(
+        1000,
+        LustreConfig::stria().noiseless(),
+        SimRng::from_seed(7),
+    );
+    for j in 0..1000u64 {
+        big.start_job(
+            SimTime::ZERO,
+            ClusterJobId(j),
+            &ExecSpec::sleep(SimDuration::from_secs(100_000 + j)),
+        )
+        .expect("enough nodes");
+    }
+    suite.bench("cluster_next_event_1k_jobs/calendar", || {
+        black_box(big.next_event_time());
+    });
+    suite.bench("cluster_next_event_1k_jobs/scan", || {
+        black_box(big.next_event_time_scan());
     });
 
     suite.bench("event_queue_push_pop_10k", || {

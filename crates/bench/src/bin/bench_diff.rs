@@ -38,6 +38,30 @@ struct Suite {
     suite: String,
     smoke: bool,
     cases: Vec<Case>,
+    /// Deterministic work counters (e.g. event-loop iterations): gated
+    /// like timings — an increase beyond the factor fails.
+    counters: Vec<(String, f64)>,
+    /// Report-only metadata (e.g. events/sec): shown, never gated.
+    meta: Vec<(String, f64)>,
+}
+
+/// Parse an optional `[{name, value}]` array (the `counters` / `meta`
+/// keys; absent in suite files written before they existed).
+fn kv_pairs(root: &Value, key: &str) -> Vec<(String, f64)> {
+    root.get(key)
+        .and_then(Value::as_array)
+        .map(|items| {
+            items
+                .iter()
+                .filter_map(|it| {
+                    Some((
+                        it.get("name")?.as_str()?.to_string(),
+                        it.get("value")?.as_f64()?,
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
 }
 
 fn load(path: &str) -> Result<Suite, String> {
@@ -78,6 +102,8 @@ fn load(path: &str) -> Result<Suite, String> {
         suite,
         smoke,
         cases,
+        counters: kv_pairs(&root, "counters"),
+        meta: kv_pairs(&root, "meta"),
     })
 }
 
@@ -190,6 +216,34 @@ fn main() -> ExitCode {
                 b.name, b.min_ns, "(gone)", "-", "-"
             );
         }
+    }
+    // Deterministic counters: same table, gated on increase by the same
+    // factor (they carry no timing noise, so any growth is algorithmic).
+    for (name, av) in &after.counters {
+        match before.counters.iter().find(|(bn, _)| bn == name) {
+            Some((_, bv)) => {
+                let d = 100.0 * (av - bv) / bv;
+                println!("counter {name:<36} {bv:>14.1} {av:>14.1} {d:>+8.1}%");
+                if let Some(factor) = gate {
+                    if *av > bv * factor {
+                        regressions.push(format!(
+                            "counter {name}: {bv:.1} -> {av:.1} ({:.2}x > {factor}x allowed)",
+                            av / bv
+                        ));
+                    }
+                }
+            }
+            None => println!("counter {name:<36} {:>14} {av:>14.1}", "(new)"),
+        }
+    }
+    for (name, av) in &after.meta {
+        let delta = before
+            .meta
+            .iter()
+            .find(|(bn, _)| bn == name)
+            .map(|(_, bv)| format!(" ({:+.1}% vs {bv:.1})", 100.0 * (av - bv) / bv))
+            .unwrap_or_default();
+        println!("meta {name} = {av:.1}{delta}");
     }
     if let Some(factor) = gate {
         if regressions.is_empty() {

@@ -17,7 +17,8 @@
 
 use crate::job::{ExecSpec, JobId, Phase};
 use crate::node::NodeSet;
-use iosched_lustre::{LustreConfig, LustreSim, StreamTag};
+use iosched_lustre::{LustreConfig, LustreSim, StreamId, StreamState, StreamTag};
+use iosched_simkit::queue::EventQueue;
 use iosched_simkit::rng::SimRng;
 use iosched_simkit::time::SimTime;
 use std::collections::BTreeMap;
@@ -41,8 +42,11 @@ enum Activity {
 #[derive(Debug)]
 struct RunningJob {
     nodes: Vec<usize>,
-    /// Phases not yet started (in execution order).
-    pending: Vec<Phase>,
+    /// All phases of the job, in execution order (immutable after start).
+    phases: Vec<Phase>,
+    /// Cursor into `phases`: index of the next phase to begin. Everything
+    /// before it has already run — no front-removal, no reallocation.
+    next_phase: usize,
     activity: Activity,
 }
 
@@ -52,6 +56,18 @@ pub struct ClusterSim {
     fs: LustreSim,
     running: BTreeMap<JobId, RunningJob>,
     now: SimTime,
+    /// Deadline calendar: exactly one entry per running timed
+    /// (sleep/compute) phase, keyed by its end instant. Entries are
+    /// consumed when the phase fires and removed eagerly on job cancel,
+    /// so the earliest calendar entry is always live and
+    /// [`Self::next_event_time`] is an O(1) peek instead of an
+    /// O(running-jobs) scan.
+    calendar: EventQueue<JobId>,
+    /// Harvest scratch reused across [`Self::advance_to_into`] calls so
+    /// the settle loop is allocation-free in steady state.
+    notified_scratch: Vec<(SimTime, StreamId, StreamTag)>,
+    completed_scratch: Vec<(SimTime, StreamId, StreamState)>,
+    due_scratch: Vec<JobId>,
     /// Per-node burst-buffer capacity, bytes (0 disables burst buffers).
     ///
     /// The buffer model is a head-start absorption: of each write
@@ -73,6 +89,10 @@ impl ClusterSim {
             fs: LustreSim::new(fs_cfg, rng),
             running: BTreeMap::new(),
             now: SimTime::ZERO,
+            calendar: EventQueue::new(),
+            notified_scratch: Vec::new(),
+            completed_scratch: Vec::new(),
+            due_scratch: Vec::new(),
             burst_buffer_per_node_bytes: 0.0,
         }
     }
@@ -126,14 +146,24 @@ impl ClusterSim {
             .nodes
             .alloc(spec.nodes)
             .ok_or_else(|| format!("not enough free nodes for {job:?}"))?;
-        let mut pending = spec.phases.clone();
-        let first = pending.remove(0);
-        let activity = self.begin_phase(t, job, &nodes, first);
+        let phases = spec.phases.clone();
+        let activity = Self::begin_phase(
+            &mut self.fs,
+            self.burst_buffer_per_node_bytes,
+            t,
+            job,
+            &nodes,
+            &phases[0],
+        );
+        if let Activity::TimedUntil(at) = activity {
+            self.calendar.push(at, job);
+        }
         self.running.insert(
             job,
             RunningJob {
                 nodes,
-                pending,
+                phases,
+                next_phase: 1,
                 activity,
             },
         );
@@ -147,13 +177,28 @@ impl ClusterSim {
             .running
             .remove(&job)
             .ok_or_else(|| format!("{job:?} is not running"))?;
+        if matches!(rj.activity, Activity::TimedUntil(_)) {
+            // Drop the job's deadline eagerly so the calendar never holds
+            // stale entries and `peek_time` stays exact.
+            self.calendar.retain(|_, &j| j != job);
+        }
         self.fs.cancel_tag(t, StreamTag(job.0));
         self.nodes.release(&rj.nodes);
         Ok(())
     }
 
-    fn begin_phase(&mut self, t: SimTime, job: JobId, nodes: &[usize], phase: Phase) -> Activity {
-        match phase {
+    /// Start `phase` on the file system. An associated fn (not `&mut
+    /// self`) so callers holding a `RunningJob` borrow can pass the
+    /// job's own node list without cloning it.
+    fn begin_phase(
+        fs: &mut LustreSim,
+        burst_buffer_per_node_bytes: f64,
+        t: SimTime,
+        job: JobId,
+        nodes: &[usize],
+        phase: &Phase,
+    ) -> Activity {
+        match *phase {
             Phase::Sleep(d) | Phase::Compute(d) => Activity::TimedUntil(t + d),
             Phase::Write {
                 threads_per_node,
@@ -162,21 +207,20 @@ impl ClusterSim {
                 // Burst buffer: each thread is released once its
                 // remaining volume fits in its share of the node's
                 // buffer; the stream itself keeps draining to the OSTs.
-                let release = self.burst_buffer_per_node_bytes / threads_per_node as f64;
+                let release = burst_buffer_per_node_bytes / threads_per_node as f64;
                 let mut outstanding = 0;
                 for &node in nodes {
                     // The fs clock may sit a hair past `t` due to
                     // millisecond quantisation of a completion we just
                     // harvested; never move it backwards.
-                    let ids = self.fs.start_write_buffered(
-                        t.max(self.fs.now()),
+                    outstanding += fs.start_write_buffered_count(
+                        t.max(fs.now()),
                         StreamTag(job.0),
                         node,
                         threads_per_node,
                         bytes_per_thread,
                         release,
                     );
-                    outstanding += ids.len();
                 }
                 Activity::Writing { outstanding }
             }
@@ -186,14 +230,13 @@ impl ClusterSim {
             } => {
                 let mut outstanding = 0;
                 for &node in nodes {
-                    let ids = self.fs.start_read(
-                        t.max(self.fs.now()),
+                    outstanding += fs.start_read_count(
+                        t.max(fs.now()),
                         StreamTag(job.0),
                         node,
                         threads_per_node,
                         bytes_per_thread,
                     );
-                    outstanding += ids.len();
                 }
                 Activity::Writing { outstanding }
             }
@@ -202,7 +245,23 @@ impl ClusterSim {
 
     /// The next instant at which cluster state changes on its own: a timed
     /// phase ends or the file system has a change event.
+    ///
+    /// O(1): the earliest timed-phase deadline is the top of the
+    /// calendar, and the file system caches its own next change event.
     pub fn next_event_time(&self) -> Option<SimTime> {
+        let next = match (self.fs.next_change_time(), self.calendar.peek_time()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        debug_assert_eq!(next, self.next_event_time_scan(), "calendar out of sync");
+        next
+    }
+
+    /// Reference implementation of [`Self::next_event_time`]: an
+    /// O(running-jobs) scan over activities. Kept as the oracle for the
+    /// calendar peek (debug assertion above) and for the
+    /// calendar-vs-scan micro-benchmark.
+    pub fn next_event_time_scan(&self) -> Option<SimTime> {
         let mut next: Option<SimTime> = self.fs.next_change_time();
         for rj in self.running.values() {
             if let Activity::TimedUntil(at) = rj.activity {
@@ -214,9 +273,22 @@ impl ClusterSim {
 
     /// Advance the cluster to `t`, processing phase transitions and
     /// returning the jobs that completed (in completion order).
+    ///
+    /// Convenience wrapper over [`Self::advance_to_into`]; hot callers
+    /// should hold their own buffer and call that directly.
     pub fn advance_to(&mut self, t: SimTime) -> Vec<JobCompletion> {
-        self.advance_internal(t);
         let mut done = Vec::new();
+        self.advance_to_into(t, &mut done);
+        done
+    }
+
+    /// Advance the cluster to `t`, harvesting completed jobs into the
+    /// caller-owned `done` buffer (cleared first, then filled in
+    /// `(at, job)` order). Reusing `done` across calls makes the whole
+    /// advance/harvest path allocation-free in steady state.
+    pub fn advance_to_into(&mut self, t: SimTime, done: &mut Vec<JobCompletion>) {
+        done.clear();
+        self.advance_internal(t);
 
         // Keep settling until no transition fires at ≤ t. Starting a
         // successor write phase changes fs rates, which can in turn finish
@@ -228,22 +300,27 @@ impl ClusterSim {
 
             // Release notifications (burst-buffered threads) → jobs stop
             // waiting for those threads while the drain continues.
-            for (ct, _, tag) in self.fs.take_notified() {
+            let mut notified = std::mem::take(&mut self.notified_scratch);
+            self.fs.take_notified_into(&mut notified);
+            for &(ct, _, tag) in &notified {
                 let job = JobId(tag.0);
                 if let Some(rj) = self.running.get_mut(&job) {
                     if let Activity::Writing { outstanding } = &mut rj.activity {
                         *outstanding = outstanding.saturating_sub(1);
                         if *outstanding == 0 {
                             transitioned = true;
-                            self.finish_phase(ct, job, &mut done);
+                            self.finish_phase(ct, job, done);
                         }
                     }
                 }
             }
+            self.notified_scratch = notified;
 
             // Stream completions → writing jobs. Buffered streams already
             // released their thread via the notification above.
-            for (ct, _, s) in self.fs.take_completed() {
+            let mut completed = std::mem::take(&mut self.completed_scratch);
+            self.fs.take_completed_into(&mut completed);
+            for (ct, _, s) in &completed {
                 if s.notify_remaining > 0.0 {
                     continue;
                 }
@@ -253,46 +330,73 @@ impl ClusterSim {
                         *outstanding = outstanding.saturating_sub(1);
                         if *outstanding == 0 {
                             transitioned = true;
-                            self.finish_phase(ct, job, &mut done);
+                            self.finish_phase(*ct, job, done);
                         }
                     }
                 }
             }
+            self.completed_scratch = completed;
 
-            // Timed phase ends.
-            let due: Vec<(JobId, SimTime)> = self
-                .running
-                .iter()
-                .filter_map(|(&job, rj)| match rj.activity {
-                    Activity::TimedUntil(at) if at <= t => Some((job, at)),
-                    _ => None,
-                })
-                .collect();
-            for (job, at) in due {
-                transitioned = true;
-                self.finish_phase(at, job, &mut done);
+            // Timed phase ends: drain the calendar up to `t`, one instant
+            // at a time. Entries sharing an instant fire in JobId order
+            // (the order the old BTreeMap scan produced), keeping traces
+            // byte-identical.
+            while let Some(at) = self.calendar.peek_time() {
+                if at > t {
+                    break;
+                }
+                let mut due = std::mem::take(&mut self.due_scratch);
+                while self.calendar.peek_time() == Some(at) {
+                    let (_, job) = self.calendar.pop().expect("peeked entry");
+                    let live = matches!(
+                        self.running.get(&job).map(|rj| &rj.activity),
+                        Some(Activity::TimedUntil(d)) if *d == at
+                    );
+                    debug_assert!(live, "stale calendar entry for {job:?}");
+                    if live {
+                        due.push(job);
+                    }
+                }
+                due.sort_unstable();
+                for &job in &due {
+                    transitioned = true;
+                    self.finish_phase(at, job, done);
+                }
+                due.clear();
+                self.due_scratch = due;
             }
 
             if !transitioned {
                 break;
             }
         }
-        done.sort_by_key(|c| c.at);
-        done
+        // Completion order: by time, JobId breaking ties so same-instant
+        // completions are deterministic regardless of harvest order.
+        done.sort_unstable_by_key(|c| (c.at, c.job));
     }
 
     /// Move to the next pending phase, or complete the job.
     fn finish_phase(&mut self, at: SimTime, job: JobId, done: &mut Vec<JobCompletion>) {
         let rj = self.running.get_mut(&job).expect("job is running");
-        if rj.pending.is_empty() {
+        if rj.next_phase >= rj.phases.len() {
             let rj = self.running.remove(&job).expect("job is running");
             self.nodes.release(&rj.nodes);
             done.push(JobCompletion { job, at });
         } else {
-            let next = rj.pending.remove(0);
-            let nodes = rj.nodes.clone();
-            let activity = self.begin_phase(at, job, &nodes, next);
-            self.running.get_mut(&job).expect("job is running").activity = activity;
+            let phase = rj.phases[rj.next_phase].clone();
+            rj.next_phase += 1;
+            let activity = Self::begin_phase(
+                &mut self.fs,
+                self.burst_buffer_per_node_bytes,
+                at,
+                job,
+                &rj.nodes,
+                &phase,
+            );
+            if let Activity::TimedUntil(due) = activity {
+                self.calendar.push(due, job);
+            }
+            rj.activity = activity;
         }
     }
 

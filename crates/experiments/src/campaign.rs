@@ -6,7 +6,10 @@
 //! the same configuration across seeds, fanned out over a pool of scoped
 //! OS threads fed through an `mpsc` work queue.
 
-use crate::driver::{run_experiment, ExperimentConfig, ExperimentResult, SchedulerKind};
+use crate::driver::{
+    run_experiment, run_experiment_with_scratch, ExperimentConfig, ExperimentResult, RunScratch,
+    SchedulerKind,
+};
 use iosched_simkit::stats::median;
 use iosched_workloads::JobSubmission;
 use std::sync::{mpsc, Mutex};
@@ -18,6 +21,9 @@ pub struct CampaignResult {
     pub label: String,
     /// Makespans per seed, in seed order.
     pub makespans_secs: Vec<f64>,
+    /// Event-loop iterations per seed, in seed order (deterministic; the
+    /// campaign bench gates on the total).
+    pub loop_iterations: Vec<u64>,
 }
 
 impl CampaignResult {
@@ -25,6 +31,11 @@ impl CampaignResult {
     /// distribution is skewed).
     pub fn median_makespan_secs(&self) -> f64 {
         median(&self.makespans_secs).expect("campaign has runs")
+    }
+
+    /// Total event-loop iterations across all seeds.
+    pub fn total_loop_iterations(&self) -> u64 {
+        self.loop_iterations.iter().sum()
     }
 }
 
@@ -45,6 +56,7 @@ pub fn run_campaign(
         .unwrap_or(4)
         .min(seeds.len());
     let mut makespans = vec![0.0f64; seeds.len()];
+    let mut loop_iterations = vec![0u64; seeds.len()];
 
     let (task_tx, task_rx) = mpsc::channel::<(usize, u64)>();
     for (i, &seed) in seeds.iter().enumerate() {
@@ -52,27 +64,32 @@ pub fn run_campaign(
     }
     drop(task_tx); // workers stop when the queue drains
     let task_rx = Mutex::new(task_rx);
-    let (result_tx, result_rx) = mpsc::channel::<(usize, f64)>();
+    let (result_tx, result_rx) = mpsc::channel::<(usize, f64, u64)>();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let result_tx = result_tx.clone();
             let task_rx = &task_rx;
-            scope.spawn(move || loop {
-                // Hold the lock only for the dequeue, not the run.
-                let task = task_rx.lock().expect("task queue lock").recv();
-                let Ok((idx, seed)) = task else { break };
-                let mut cfg = base.clone();
-                cfg.seed = seed;
-                let res = run_experiment(&cfg, workload);
-                result_tx
-                    .send((idx, res.makespan_secs))
-                    .expect("send result");
+            scope.spawn(move || {
+                // One scratch per worker, reused across its runs.
+                let mut scratch = RunScratch::default();
+                loop {
+                    // Hold the lock only for the dequeue, not the run.
+                    let task = task_rx.lock().expect("task queue lock").recv();
+                    let Ok((idx, seed)) = task else { break };
+                    let mut cfg = base.clone();
+                    cfg.seed = seed;
+                    let res = run_experiment_with_scratch(&cfg, workload, &mut scratch);
+                    result_tx
+                        .send((idx, res.makespan_secs, res.loop_iterations))
+                        .expect("send result");
+                }
             });
         }
         drop(result_tx); // collection below ends when all workers exit
-        for (idx, m) in result_rx.iter() {
+        for (idx, m, iters) in result_rx.iter() {
             makespans[idx] = m;
+            loop_iterations[idx] = iters;
         }
     });
 
@@ -80,6 +97,7 @@ pub fn run_campaign(
         scheduler: base.scheduler,
         label: base.scheduler.label(),
         makespans_secs: makespans,
+        loop_iterations,
     }
 }
 

@@ -22,7 +22,7 @@
 //! queue refs, running views, the scheduling outcome — is reused.
 
 use iosched_analytics::service::{AnalyticsConfig, AnalyticsService};
-use iosched_cluster::{ClusterSim, ExecSpec};
+use iosched_cluster::{ClusterSim, ExecSpec, JobCompletion};
 use iosched_core::{AdaptiveConfig, AdaptivePolicy, EstimateBook, IoAwareConfig, IoAwarePolicy};
 use iosched_ldms::LdmsDaemon;
 use iosched_lustre::LustreConfig;
@@ -195,6 +195,11 @@ pub struct ExperimentResult {
     pub jobs: Vec<JobRecord>,
     /// Scheduling passes executed.
     pub sched_passes: u64,
+    /// Event-loop iterations executed (the loop's `guard` counter): a
+    /// deterministic proxy for event count, recorded by the campaign
+    /// bench so an event blowup fails the perf gate even when wall-time
+    /// noise hides it.
+    pub loop_iterations: u64,
     /// Scheduler label (for reports).
     pub label: String,
 }
@@ -295,8 +300,32 @@ fn entry(jobs: &[JobEntry], id: JobId) -> &JobEntry {
     &jobs[i]
 }
 
+/// Reusable buffers for [`run_experiment_with_scratch`]. Campaign
+/// workers keep one per thread and reuse it across runs, so repeated
+/// experiments stop churning the allocator on completion harvests,
+/// snapshots and scheduling passes.
+#[derive(Default)]
+pub struct RunScratch {
+    completions: Vec<JobCompletion>,
+    snap: iosched_lustre::FsSnapshot,
+    per_job: Vec<(u64, f64)>,
+    queue_ids: Vec<JobId>,
+    running_pairs: Vec<(JobId, SimTime)>,
+    outcome: SchedulingOutcome,
+}
+
 /// Run one experiment to completion.
 pub fn run_experiment(cfg: &ExperimentConfig, workload: &[JobSubmission]) -> ExperimentResult {
+    run_experiment_with_scratch(cfg, workload, &mut RunScratch::default())
+}
+
+/// [`run_experiment`] with caller-owned scratch buffers (see
+/// [`RunScratch`]); the result is identical.
+pub fn run_experiment_with_scratch(
+    cfg: &ExperimentConfig,
+    workload: &[JobSubmission],
+    scratch: &mut RunScratch,
+) -> ExperimentResult {
     assert!(!workload.is_empty(), "workload must not be empty");
     let master = SimRng::from_seed(cfg.seed);
     let mut cluster = ClusterSim::new(cfg.nodes, cfg.fs.clone(), master.fork(1));
@@ -374,17 +403,20 @@ pub fn run_experiment(cfg: &ExperimentConfig, workload: &[JobSubmission]) -> Exp
     let mut sched_requested = true;
     let mut now = SimTime::ZERO;
 
-    // Sampling buffers, reused every tick (`snapshot_into` refills them
-    // without allocating once they reach working size).
-    let mut snap = iosched_lustre::FsSnapshot::default();
-    let mut per_job: Vec<(u64, f64)> = Vec::new();
-
-    // Per-pass buffers, reused every round.
-    let mut queue_ids: Vec<JobId> = Vec::new();
+    // Sampling and per-pass buffers live in `scratch`, reused across
+    // ticks and across whole runs. The reference vectors borrow from the
+    // run-local job table, so they stay local (cheap: they reach working
+    // capacity within a few passes of each run).
+    let RunScratch {
+        completions,
+        snap,
+        per_job,
+        queue_ids,
+        running_pairs,
+        outcome,
+    } = scratch;
     let mut queue_refs: Vec<&SchedJob> = Vec::new();
-    let mut running_pairs: Vec<(JobId, SimTime)> = Vec::new();
     let mut running_views: Vec<RunningView<'_>> = Vec::new();
-    let mut outcome = SchedulingOutcome::default();
 
     let mut guard: u64 = 0;
     while !registry.all_completed() {
@@ -412,9 +444,10 @@ pub fn run_experiment(cfg: &ExperimentConfig, workload: &[JobSubmission]) -> Exp
         // Never move backwards (e.g. a sched request issued "now").
         let t = t_next.max(now);
 
-        // 1. Advance the cluster; harvest completions.
-        let completions = cluster.advance_to(t);
-        for c in &completions {
+        // 1. Advance the cluster; harvest completions into the reusable
+        // buffer.
+        cluster.advance_to_into(t, completions);
+        for c in completions.iter() {
             registry.mark_completed(c.job, c.at);
             let sym = entry(&jobs, c.job).meta.name_sym;
             let (started, ended) = match registry.state(c.job) {
@@ -455,10 +488,10 @@ pub fn run_experiment(cfg: &ExperimentConfig, workload: &[JobSubmission]) -> Exp
 
         // 2. Monitoring sample.
         if now >= daemon.next_sample_at() {
-            cluster.fs().snapshot_into(&mut snap);
+            cluster.fs().snapshot_into(snap);
             per_job.clear();
             per_job.extend(snap.per_tag_bps.iter().map(|&(tag, bps)| (tag.0, bps)));
-            daemon.sample(now, snap.total_bps, &per_job, cluster.busy_nodes());
+            daemon.sample(now, snap.total_bps, per_job, cluster.busy_nodes());
             result.throughput_trace.push(now, snap.total_bps);
             result.nodes_trace.push(now, cluster.busy_nodes() as f64);
             let fat = cluster.fs().ost_fatigue();
@@ -478,12 +511,12 @@ pub fn run_experiment(cfg: &ExperimentConfig, workload: &[JobSubmission]) -> Exp
             last_sched = Some(now);
             next_sched = now + cfg.sched_period;
 
-            registry.wait_queue_ids_into(now, cfg.priority_policy, &mut queue_ids);
+            registry.wait_queue_ids_into(now, cfg.priority_policy, queue_ids);
             if !queue_ids.is_empty() {
                 queue_ids.truncate(cfg.max_queue_depth);
                 queue_refs.clear();
                 queue_refs.extend(queue_ids.iter().map(|&id| &entry(&jobs, id).meta));
-                registry.running_ids_into(&mut running_pairs);
+                registry.running_ids_into(running_pairs);
                 running_views.clear();
                 running_views.extend(running_pairs.iter().map(|&(id, started)| RunningView {
                     job: &entry(&jobs, id).meta,
@@ -517,7 +550,7 @@ pub fn run_experiment(cfg: &ExperimentConfig, workload: &[JobSubmission]) -> Exp
                     now,
                     cfg.nodes,
                     &bf,
-                    &mut outcome,
+                    outcome,
                 );
                 result.sched_passes += 1;
 
@@ -538,11 +571,12 @@ pub fn run_experiment(cfg: &ExperimentConfig, workload: &[JobSubmission]) -> Exp
     // and bias tail averages. Skipped when the regular cadence already
     // sampled this instant.
     if result.throughput_trace.last_time() != Some(now) {
-        cluster.fs().snapshot_into(&mut snap);
+        cluster.fs().snapshot_into(snap);
         result.throughput_trace.push(now, snap.total_bps);
         result.nodes_trace.push(now, cluster.busy_nodes() as f64);
     }
 
+    result.loop_iterations = guard;
     result.makespan_secs = registry
         .makespan()
         .expect("all jobs completed")

@@ -25,6 +25,9 @@ pub mod metrics;
 pub mod pretrain;
 
 pub use campaign::{representative_run, run_campaign, CampaignResult};
-pub use driver::{run_experiment, ExperimentConfig, ExperimentResult, JobRecord, SchedulerKind};
+pub use driver::{
+    run_experiment, run_experiment_with_scratch, ExperimentConfig, ExperimentResult, JobRecord,
+    RunScratch, SchedulerKind,
+};
 pub use metrics::{per_class_metrics, scheduling_metrics, SchedulingMetrics};
 pub use pretrain::pretrain_isolated;

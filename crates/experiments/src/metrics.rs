@@ -166,6 +166,7 @@ mod tests {
                 rec(3, "sleep", 0, 0, 100),
             ],
             sched_passes: 1,
+            loop_iterations: 0,
             label: "t".into(),
         };
         let per = per_class_metrics(&res);
@@ -199,6 +200,7 @@ mod tests {
             streams_trace: TimeSeries::new(),
             jobs: vec![],
             sched_passes: 0,
+            loop_iterations: 0,
             label: "t".into(),
         };
         assert!((node_utilisation(&res, 10) - 1.0).abs() < 1e-9);

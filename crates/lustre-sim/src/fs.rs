@@ -23,7 +23,9 @@
 //! rescan all streams per step.
 
 use crate::config::LustreConfig;
+#[cfg(debug_assertions)]
 use crate::solver::IndexedSolver;
+use crate::solver::WarmSolver;
 use crate::stream::{Direction, StreamId, StreamState, StreamTag};
 use iosched_simkit::rng::SimRng;
 use iosched_simkit::time::{SimDuration, SimTime};
@@ -137,10 +139,21 @@ pub struct LustreSim {
     next_event_at: SimTime,
     /// Total bytes written since construction (ground truth, for tests).
     bytes_written_total: f64,
-    /// Reusable rate solver (scratch buffers persist across solves).
+    /// Warm-start rate solver: constraint membership is repaired
+    /// incrementally on stream join/leave (mirroring the slab's
+    /// `swap_remove`), so a solve skips the per-solve membership and
+    /// adjacency rebuild entirely. Constraint layout:
+    /// `[0, node_occ.len())` node NIC caps, then `n_ost` OST caps, then
+    /// the fabric cap last; rebuilt only when the node slot count grows.
+    warm: WarmSolver,
+    /// From-scratch solver kept as the warm-start oracle: every solve is
+    /// debug-asserted bit-identical to a full `IndexedSolver` rebuild.
+    #[cfg(debug_assertions)]
     solver: IndexedSolver,
-    /// Scratch for the counting-sort group build in `recompute_rates`.
+    /// Scratch for the counting-sort group build in the oracle rebuild.
+    #[cfg(debug_assertions)]
     group_cursor: Vec<u32>,
+    #[cfg(debug_assertions)]
     group_members: Vec<u32>,
     /// Scratch slab indices of streams harvested this step.
     done_scratch: Vec<u32>,
@@ -182,8 +195,12 @@ impl LustreSim {
             next_noise_at,
             next_event_at: SimTime::FAR_FUTURE,
             bytes_written_total: 0.0,
+            warm: WarmSolver::new(),
+            #[cfg(debug_assertions)]
             solver: IndexedSolver::new(),
+            #[cfg(debug_assertions)]
             group_cursor: Vec::new(),
+            #[cfg(debug_assertions)]
             group_members: Vec::new(),
             done_scratch: Vec::new(),
         }
@@ -211,7 +228,8 @@ impl LustreSim {
         n_threads: usize,
         bytes_per_thread: f64,
     ) -> Vec<StreamId> {
-        self.start_transfer(
+        let first = self.next_stream_id;
+        let n = self.start_transfer_count(
             t,
             tag,
             node,
@@ -219,7 +237,8 @@ impl LustreSim {
             bytes_per_thread,
             Direction::Write,
             0.0,
-        )
+        );
+        (first..first + n as u64).map(StreamId).collect()
     }
 
     /// Like [`Self::start_write`] but with a burst-buffer release: each
@@ -236,11 +255,35 @@ impl LustreSim {
         bytes_per_thread: f64,
         release_bytes_per_thread: f64,
     ) -> Vec<StreamId> {
+        let first = self.next_stream_id;
+        let n = self.start_write_buffered_count(
+            t,
+            tag,
+            node,
+            n_threads,
+            bytes_per_thread,
+            release_bytes_per_thread,
+        );
+        (first..first + n as u64).map(StreamId).collect()
+    }
+
+    /// Non-allocating form of [`Self::start_write_buffered`]: returns how
+    /// many streams were started instead of collecting their ids (ids are
+    /// assigned sequentially; callers that need them can reconstruct).
+    pub fn start_write_buffered_count(
+        &mut self,
+        t: SimTime,
+        tag: StreamTag,
+        node: usize,
+        n_threads: usize,
+        bytes_per_thread: f64,
+        release_bytes_per_thread: f64,
+    ) -> usize {
         assert!(
             release_bytes_per_thread >= 0.0,
             "release threshold must be non-negative"
         );
-        self.start_transfer(
+        self.start_transfer_count(
             t,
             tag,
             node,
@@ -261,7 +304,22 @@ impl LustreSim {
         n_threads: usize,
         bytes_per_thread: f64,
     ) -> Vec<StreamId> {
-        self.start_transfer(
+        let first = self.next_stream_id;
+        let n = self.start_read_count(t, tag, node, n_threads, bytes_per_thread);
+        (first..first + n as u64).map(StreamId).collect()
+    }
+
+    /// Non-allocating form of [`Self::start_read`] (see
+    /// [`Self::start_write_buffered_count`]).
+    pub fn start_read_count(
+        &mut self,
+        t: SimTime,
+        tag: StreamTag,
+        node: usize,
+        n_threads: usize,
+        bytes_per_thread: f64,
+    ) -> usize {
+        self.start_transfer_count(
             t,
             tag,
             node,
@@ -273,7 +331,7 @@ impl LustreSim {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn start_transfer(
+    fn start_transfer_count(
         &mut self,
         t: SimTime,
         tag: StreamTag,
@@ -282,14 +340,18 @@ impl LustreSim {
         bytes_per_thread: f64,
         dir: Direction,
         release_bytes: f64,
-    ) -> Vec<StreamId> {
+    ) -> usize {
         assert!(n_threads > 0, "a transfer needs at least one thread");
         assert!(bytes_per_thread > 0.0, "bytes_per_thread must be positive");
         self.advance_to(t);
         if node >= self.node_occ.len() {
             self.node_occ.resize(node + 1, 0);
+            // The node-constraint block grew: rebuild the warm system's
+            // layout. Rare — it happens at most once per distinct node.
+            self.rebuild_warm();
         }
-        let mut ids = Vec::with_capacity(n_threads);
+        let node_slots = self.node_occ.len();
+        let fabric_con = (node_slots + self.cfg.n_ost) as u32;
         for _ in 0..n_threads {
             // Least-loaded of `ost_candidates` random picks (Lustre's
             // balancing object allocator); d = 1 is blind uniform choice.
@@ -311,6 +373,8 @@ impl LustreSim {
             }
             self.ost_occ[ost] += 1;
             self.node_occ[node] += 1;
+            self.warm
+                .add_flow(&[node as u32, (node_slots + ost) as u32, fabric_con]);
             self.stream_ids.push(id);
             self.streams.push(StreamState {
                 tag,
@@ -322,26 +386,65 @@ impl LustreSim {
                 notify_remaining: release_bytes.min(bytes_per_thread),
                 notified,
             });
-            ids.push(id);
         }
         self.recompute_rates();
-        ids
+        n_threads
     }
 
     /// Drop the stream at slab index `idx`, keeping the occupancy counts
-    /// in sync. Returns its id and final state.
+    /// and the warm solver's membership in sync (both use swap-remove
+    /// renaming, so solver flow indices always equal slab indices).
     fn remove_stream(&mut self, idx: usize) -> (StreamId, StreamState) {
         let s = self.streams.swap_remove(idx);
         let id = self.stream_ids.swap_remove(idx);
         self.ost_occ[s.ost] -= 1;
         self.node_occ[s.node] -= 1;
+        self.warm.remove_flow_swap(idx as u32);
         (id, s)
+    }
+
+    /// Rebuild the warm solver's constraint system from scratch: node
+    /// slots `[0, node_occ.len())`, then one constraint per OST, then the
+    /// fabric cap. Node and fabric capacities are config constants set
+    /// here; OST capacities fold noise/fatigue/health and are refreshed
+    /// at every solve instead.
+    fn rebuild_warm(&mut self) {
+        let node_slots = self.node_occ.len();
+        let n_cons = node_slots + self.cfg.n_ost + 1;
+        self.warm.reset(n_cons, 3, self.cfg.stream_cap_bps);
+        for c in 0..node_slots {
+            self.warm.set_con_cap(c, self.cfg.node_cap_bps);
+        }
+        self.warm.set_con_cap(n_cons - 1, self.cfg.fabric_cap_bps);
+        let fabric = (n_cons - 1) as u32;
+        for s in &self.streams {
+            self.warm
+                .add_flow(&[s.node as u32, (node_slots + s.ost) as u32, fabric]);
+        }
+    }
+
+    /// Effective capacity of `ost` under `occ` concurrent streams:
+    /// interference-degraded nominal bandwidth scaled by the epoch's
+    /// noise factor, fatigue vigor and administrative health. Shared by
+    /// the warm solve and the debug oracle so both see identical floats.
+    #[inline]
+    fn ost_capacity_bps(&self, ost: usize, occ: usize) -> f64 {
+        let vigor = (1.0 - self.cfg.fatigue_phi * self.fatigue[ost]) * self.health[ost];
+        self.cfg.ost_effective_bps(occ) * self.noise[ost] * vigor
     }
 
     /// Harvest release notifications (threads whose remaining volume fits
     /// in their burst-buffer allowance), time-ordered.
     pub fn take_notified(&mut self) -> Vec<(SimTime, StreamId, StreamTag)> {
         std::mem::take(&mut self.notified)
+    }
+
+    /// Like [`Self::take_notified`], but drains into `out` (cleared
+    /// first). Both the internal buffer and `out` keep their capacity, so
+    /// a host that reuses `out` allocates nothing per harvest.
+    pub fn take_notified_into(&mut self, out: &mut Vec<(SimTime, StreamId, StreamTag)>) {
+        out.clear();
+        out.append(&mut self.notified);
     }
 
     /// Abort all streams belonging to `tag` (job cancelled). Advances to
@@ -478,6 +581,13 @@ impl LustreSim {
         std::mem::take(&mut self.completed)
     }
 
+    /// Like [`Self::take_completed`], but drains into `out` (cleared
+    /// first), keeping both buffers' capacity.
+    pub fn take_completed_into(&mut self, out: &mut Vec<(SimTime, StreamId, StreamState)>) {
+        out.clear();
+        out.append(&mut self.completed);
+    }
+
     /// When the model next needs attention: the earliest stream completion
     /// (exact, under current rates) or the next noise epoch — `None` when
     /// no stream is active. When every active stream is stalled at rate 0
@@ -523,17 +633,45 @@ impl LustreSim {
 
     /// Recompute the max-min fair rates for all active streams.
     ///
-    /// Constraint build is a counting sort over the incrementally
-    /// maintained occupancy tables (per-stream caps fold into the
-    /// solver's clamp, so the constraint list is O(nodes + OSTs + 1), not
-    /// O(streams)); all buffers are reused, so the steady state allocates
-    /// nothing.
+    /// The warm solver already holds the constraint membership (repaired
+    /// incrementally on stream join/leave), so a solve only refreshes the
+    /// occupied OSTs' capacities — which fold noise, fatigue and health
+    /// and therefore change between solves — and runs the fill. No
+    /// membership rebuild, no adjacency build, no allocations.
+    ///
+    /// In debug builds the result is asserted **bit-identical** to a
+    /// from-scratch [`IndexedSolver`] rebuild — the warm-start oracle.
     fn recompute_rates(&mut self) {
         let n = self.streams.len();
         if n == 0 {
             self.next_event_at = SimTime::FAR_FUTURE;
             return;
         }
+        debug_assert_eq!(self.warm.flow_count(), n, "warm membership out of sync");
+        let node_slots = self.node_occ.len();
+        for ost in 0..self.cfg.n_ost {
+            let occ = self.ost_occ[ost];
+            if occ > 0 {
+                let cap = self.ost_capacity_bps(ost, occ as usize);
+                self.warm.set_con_cap(node_slots + ost, cap);
+            }
+        }
+        let rates = self.warm.solve();
+        for (i, s) in self.streams.iter_mut().enumerate() {
+            s.rate_bps = rates[i];
+        }
+        #[cfg(debug_assertions)]
+        self.assert_rates_match_full_rebuild();
+        self.refresh_next_event();
+    }
+
+    /// Warm-start oracle: rebuild the same constraint system from scratch
+    /// with [`IndexedSolver`] (the pre-warm-start hot path: counting-sort
+    /// group build over the occupancy tables) and assert the warm rates
+    /// match bit for bit.
+    #[cfg(debug_assertions)]
+    fn assert_rates_match_full_rebuild(&mut self) {
+        let n = self.streams.len();
         self.solver.begin(n, self.cfg.stream_cap_bps);
 
         // Group slab indices by node: cursor[g] starts at the group's
@@ -577,10 +715,9 @@ impl LustreSim {
         for (ost, &occ) in self.ost_occ.iter().enumerate() {
             if occ > 0 {
                 let m = occ as usize;
-                let vigor = (1.0 - self.cfg.fatigue_phi * self.fatigue[ost]) * self.health[ost];
                 let end = self.group_cursor[ost] as usize;
                 self.solver.push_constraint(
-                    self.cfg.ost_effective_bps(m) * self.noise[ost] * vigor,
+                    self.ost_capacity_bps(ost, m),
                     &self.group_members[end - m..end],
                 );
             }
@@ -590,10 +727,16 @@ impl LustreSim {
         self.solver.push_constraint_all(self.cfg.fabric_cap_bps);
 
         let rates = self.solver.solve();
-        for (i, s) in self.streams.iter_mut().enumerate() {
-            s.rate_bps = rates[i];
+        for (i, s) in self.streams.iter().enumerate() {
+            debug_assert_eq!(
+                rates[i].to_bits(),
+                s.rate_bps.to_bits(),
+                "warm-start diverged from the full rebuild for stream {i}: \
+                 full {} vs warm {}",
+                rates[i],
+                s.rate_bps
+            );
         }
-        self.refresh_next_event();
     }
 
     fn resample_noise(&mut self) {

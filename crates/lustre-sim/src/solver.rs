@@ -375,6 +375,270 @@ impl IndexedSolver {
     }
 }
 
+/// Warm-start progressive-filling solver: a *persistent* constraint
+/// system repaired incrementally on flow churn.
+///
+/// [`IndexedSolver`] rebuilds member lists, the flow→constraint CSR and
+/// the cap order from scratch on every solve. In the file-system hot path
+/// the constraint *structure* barely changes between solves — a single
+/// stream joins or leaves — so `WarmSolver` keeps the membership alive
+/// across solves and repairs it in O(degree) per join/leave:
+///
+/// * each constraint owns a swap-removable member list;
+/// * each flow records, with a fixed stride, which constraints it belongs
+///   to and *where* in each member list it sits, so removal never scans;
+/// * [`WarmSolver::remove_flow_swap`] mirrors the caller's slab
+///   `swap_remove`: the last flow is renamed to the removed index.
+///
+/// `solve` then runs the *identical* progressive-filling arithmetic as
+/// [`IndexedSolver::solve`] over the repaired sets. The fill is a pure
+/// function of (flow count, uniform cap, constraint sets and capacities)
+/// and is independent of constraint order and member order — the next
+/// level is a min over order-independent per-constraint candidates, the
+/// residual update is per-constraint, and the freeze set is sorted before
+/// use — so warm-start results are **bit-identical** to a from-scratch
+/// [`IndexedSolver`] build of the same system. [`crate::LustreSim`]
+/// debug-asserts exactly that on every solve, and the property suite
+/// below pins it on randomized churn sequences.
+///
+/// Restriction vs [`IndexedSolver`]: all flows share one uniform cap
+/// (`default_cap`). That is all the file system needs (the per-stream
+/// cap is one config constant) and it removes the per-solve
+/// O(n log n) cap-order sort: with a uniform cap the "smallest unfrozen
+/// cap" is simply the cap while any flow is unfrozen.
+#[derive(Default)]
+pub struct WarmSolver {
+    n_flows: usize,
+    /// Max constraints per flow; slot layout is `flow * stride + k`.
+    stride: usize,
+    /// Uniform per-flow rate clamp (≥ 0; `INFINITY` = uncapped).
+    default_cap: f64,
+    /// Constraint capacities (indexed by constraint id).
+    con_cap: Vec<f64>,
+    /// Per-constraint member lists (unique flows, maintenance order).
+    members: Vec<Vec<u32>>,
+    /// Flow→constraint adjacency, fixed stride. `flow_pos` is the flow's
+    /// position inside the corresponding member list.
+    flow_cons: Vec<u32>,
+    flow_pos: Vec<u32>,
+    flow_deg: Vec<u8>,
+    // Fill scratch, reused across solves.
+    residual: Vec<f64>,
+    unfrozen: Vec<u32>,
+    frozen: Vec<bool>,
+    rate: Vec<f64>,
+    to_freeze: Vec<u32>,
+}
+
+impl WarmSolver {
+    /// A solver with empty scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reset to an empty system of `n_cons` constraints (all flows
+    /// removed, capacities zeroed), each flow limited to `stride`
+    /// constraint memberships, every flow clamped at `default_cap`.
+    /// Member-list capacity survives the reset.
+    pub fn reset(&mut self, n_cons: usize, stride: usize, default_cap: f64) {
+        assert!(stride > 0 && stride <= u8::MAX as usize);
+        self.n_flows = 0;
+        self.stride = stride;
+        self.default_cap = default_cap.max(0.0);
+        self.con_cap.clear();
+        self.con_cap.resize(n_cons, 0.0);
+        if self.members.len() < n_cons {
+            self.members.resize_with(n_cons, Vec::new);
+        }
+        self.members.truncate(n_cons);
+        for m in self.members.iter_mut() {
+            m.clear();
+        }
+        self.flow_cons.clear();
+        self.flow_pos.clear();
+        self.flow_deg.clear();
+    }
+
+    /// Number of constraints in the system.
+    pub fn con_count(&self) -> usize {
+        self.con_cap.len()
+    }
+
+    /// Number of flows currently in the system.
+    pub fn flow_count(&self) -> usize {
+        self.n_flows
+    }
+
+    /// Set constraint `c`'s capacity (effective at the next solve).
+    pub fn set_con_cap(&mut self, c: usize, capacity: f64) {
+        debug_assert!(!capacity.is_nan(), "capacity must not be NaN");
+        self.con_cap[c] = capacity;
+    }
+
+    /// Add a flow as member of the (distinct) constraints `cons`; returns
+    /// its index, always the current [`Self::flow_count`].
+    pub fn add_flow(&mut self, cons: &[u32]) -> u32 {
+        debug_assert!(cons.len() <= self.stride, "flow degree exceeds stride");
+        debug_assert!(
+            cons.iter()
+                .all(|&c| cons.iter().filter(|&&d| d == c).count() == 1),
+            "constraint memberships must be distinct"
+        );
+        let f = self.n_flows as u32;
+        self.flow_cons.resize(self.flow_cons.len() + self.stride, 0);
+        self.flow_pos.resize(self.flow_pos.len() + self.stride, 0);
+        for (k, &c) in cons.iter().enumerate() {
+            let list = &mut self.members[c as usize];
+            self.flow_cons[f as usize * self.stride + k] = c;
+            self.flow_pos[f as usize * self.stride + k] = list.len() as u32;
+            list.push(f);
+        }
+        self.flow_deg.push(cons.len() as u8);
+        self.n_flows += 1;
+        f
+    }
+
+    /// Remove flow `f`, renaming the last flow to index `f` (mirror a
+    /// caller-side slab `swap_remove`).
+    pub fn remove_flow_swap(&mut self, f: u32) {
+        let f = f as usize;
+        debug_assert!(f < self.n_flows, "flow out of range");
+        // Detach `f` from its constraints; a swap_remove on a member list
+        // moves one other flow, whose recorded position must be patched.
+        for k in 0..self.flow_deg[f] as usize {
+            let c = self.flow_cons[f * self.stride + k] as usize;
+            let p = self.flow_pos[f * self.stride + k] as usize;
+            let list = &mut self.members[c];
+            list.swap_remove(p);
+            if p < list.len() {
+                let moved = list[p] as usize;
+                for j in 0..self.flow_deg[moved] as usize {
+                    if self.flow_cons[moved * self.stride + j] as usize == c {
+                        self.flow_pos[moved * self.stride + j] = p as u32;
+                        break;
+                    }
+                }
+            }
+        }
+        // Rename the last flow to `f`.
+        let last = self.n_flows - 1;
+        if f != last {
+            for k in 0..self.flow_deg[last] as usize {
+                let c = self.flow_cons[last * self.stride + k] as usize;
+                let p = self.flow_pos[last * self.stride + k] as usize;
+                self.members[c][p] = f as u32;
+                self.flow_cons[f * self.stride + k] = c as u32;
+                self.flow_pos[f * self.stride + k] = p as u32;
+            }
+            self.flow_deg[f] = self.flow_deg[last];
+        }
+        self.flow_deg.pop();
+        self.flow_cons.truncate(last * self.stride);
+        self.flow_pos.truncate(last * self.stride);
+        self.n_flows = last;
+    }
+
+    /// Run progressive filling over the current system; returns one rate
+    /// per flow. Arithmetic is identical to [`IndexedSolver::solve`] on
+    /// the same sets, so results match it bit for bit.
+    pub fn solve(&mut self) -> &[f64] {
+        let n = self.n_flows;
+        let n_cons = self.con_cap.len();
+        self.rate.clear();
+        self.rate.resize(n, 0.0);
+        if n == 0 {
+            return &self.rate;
+        }
+
+        self.residual.clear();
+        self.residual
+            .extend(self.con_cap.iter().map(|c| c.max(0.0)));
+        self.unfrozen.clear();
+        self.unfrozen
+            .extend(self.members.iter().map(|m| m.len() as u32));
+        self.frozen.clear();
+        self.frozen.resize(n, false);
+
+        let cap = self.default_cap;
+        let mut level = 0.0_f64;
+        let mut remaining = n;
+
+        while remaining > 0 {
+            // Next saturation level across constraints…
+            let mut next_level = f64::INFINITY;
+            for c in 0..n_cons {
+                if self.unfrozen[c] > 0 {
+                    let candidate = level + self.residual[c] / self.unfrozen[c] as f64;
+                    if candidate < next_level {
+                        next_level = candidate;
+                    }
+                }
+            }
+            // …and the uniform cap (the smallest unfrozen cap, as long as
+            // any flow is unfrozen — which `remaining > 0` guarantees).
+            next_level = next_level.min(cap);
+
+            if !next_level.is_finite() {
+                // Release: nothing finite applies to the remaining flows.
+                for f in 0..n {
+                    if !self.frozen[f] {
+                        self.rate[f] = level;
+                    }
+                }
+                break;
+            }
+
+            let delta = (next_level - level).max(0.0);
+            for c in 0..n_cons {
+                if self.unfrozen[c] > 0 {
+                    self.residual[c] -= delta * self.unfrozen[c] as f64;
+                }
+            }
+            level = next_level;
+
+            self.to_freeze.clear();
+            // Members of saturated constraints…
+            for c in 0..n_cons {
+                if self.unfrozen[c] > 0 && self.residual[c] <= EPS * self.con_cap[c].max(1.0) {
+                    for &m in &self.members[c] {
+                        if !self.frozen[m as usize] {
+                            self.to_freeze.push(m);
+                        }
+                    }
+                }
+            }
+            // …and every unfrozen flow once the level reached the cap.
+            if cap <= level {
+                for f in 0..n {
+                    if !self.frozen[f] {
+                        self.to_freeze.push(f as u32);
+                    }
+                }
+            }
+            debug_assert!(
+                !self.to_freeze.is_empty(),
+                "progressive filling must freeze at least one flow per round"
+            );
+            self.to_freeze.sort_unstable();
+            self.to_freeze.dedup();
+            for i in 0..self.to_freeze.len() {
+                let f = self.to_freeze[i] as usize;
+                if self.frozen[f] {
+                    continue;
+                }
+                self.frozen[f] = true;
+                self.rate[f] = level.min(cap);
+                remaining -= 1;
+                for k in 0..self.flow_deg[f] as usize {
+                    self.unfrozen[self.flow_cons[f * self.stride + k] as usize] -= 1;
+                }
+            }
+        }
+
+        &self.rate
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -520,6 +784,49 @@ mod tests {
     }
 
     #[test]
+    fn warm_solver_basic_systems_match_reference() {
+        // Classic three-link example via the warm interface.
+        let mut w = WarmSolver::new();
+        w.reset(2, 2, f64::INFINITY);
+        w.set_con_cap(0, 10.0);
+        w.set_con_cap(1, 4.0);
+        w.add_flow(&[0, 1]); // A on both links
+        w.add_flow(&[0]); // B on link 1
+        w.add_flow(&[1]); // C on link 2
+        let rates = w.solve();
+        assert!((rates[0] - 2.0).abs() < 1e-9);
+        assert!((rates[1] - 8.0).abs() < 1e-9);
+        assert!((rates[2] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_solver_swap_remove_renames_last_flow() {
+        let mut w = WarmSolver::new();
+        w.reset(2, 2, f64::INFINITY);
+        w.set_con_cap(0, 6.0);
+        w.set_con_cap(1, 100.0);
+        w.add_flow(&[0]); // flow 0
+        w.add_flow(&[0, 1]); // flow 1
+        w.add_flow(&[1]); // flow 2
+                          // Remove flow 0: flow 2 is renamed to index 0.
+        w.remove_flow_swap(0);
+        assert_eq!(w.flow_count(), 2);
+        let rates = w.solve().to_vec();
+        // Remaining system: old flow 2 (con 1 only) and old flow 1
+        // (cons 0+1). Con 0 has one member → that flow gets 6; the other
+        // continues to 100-6=94.
+        assert!((rates[1] - 6.0).abs() < 1e-9, "{rates:?}");
+        assert!((rates[0] - 94.0).abs() < 1e-9, "{rates:?}");
+        // Membership repair stayed consistent: re-removing the renamed
+        // flow empties the system cleanly.
+        w.remove_flow_swap(0);
+        w.remove_flow_swap(0);
+        assert_eq!(w.flow_count(), 0);
+        assert!(w.members.iter().all(|m| m.is_empty()));
+        assert!(w.solve().is_empty());
+    }
+
+    #[test]
     fn indexed_solver_reuses_buffers_across_solves() {
         let mut s = IndexedSolver::new();
         for round in 0..3u32 {
@@ -629,6 +936,94 @@ mod tests {
                     expect[f],
                     got[f]
                 );
+            }
+        }
+
+        /// Warm-start repair under join/leave churn stays **bit-identical**
+        /// to a from-scratch `IndexedSolver` build of the same system —
+        /// the invariant `LustreSim` debug-asserts on every solve.
+        fn prop_warm_churn_matches_indexed_exactly(
+            n_cons in 1usize..10,
+            n_ops in 1usize..50,
+            cap_sel in 0usize..4,
+            seed in 0u64..1500,
+        ) {
+            let mut s = seed;
+            let mut next = || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (s >> 33) as usize
+            };
+            // Uniform cap: sometimes uncapped, sometimes tight.
+            let cap = if cap_sel == 0 { f64::INFINITY } else { (cap_sel * 7) as f64 / 2.0 };
+
+            let mut w = WarmSolver::new();
+            w.reset(n_cons, 3, cap);
+            for c in 0..n_cons {
+                let v = match next() % 6 {
+                    0 => 0.0,
+                    k => (k * (1 + next() % 20)) as f64 / 3.0,
+                };
+                w.set_con_cap(c, v);
+            }
+
+            // Mirror of each flow's memberships (in warm index order, so
+            // removals replay the same swap_remove renaming).
+            let mut mirror: Vec<Vec<u32>> = Vec::new();
+            let mut full = IndexedSolver::new();
+            let mut cons_buf: Vec<u32> = Vec::new();
+            let mut members: Vec<Vec<u32>> = vec![Vec::new(); n_cons];
+
+            for _ in 0..n_ops {
+                if mirror.is_empty() || next() % 3 != 0 {
+                    // Join with 0..=3 distinct constraints (degree 0
+                    // exercises the release path under infinite cap).
+                    cons_buf.clear();
+                    let deg = next() % 4;
+                    while cons_buf.len() < deg.min(n_cons) {
+                        let c = (next() % n_cons) as u32;
+                        if !cons_buf.contains(&c) {
+                            cons_buf.push(c);
+                        }
+                    }
+                    let f = w.add_flow(&cons_buf);
+                    prop_assert!(f as usize == mirror.len());
+                    mirror.push(cons_buf.clone());
+                } else {
+                    let f = next() % mirror.len();
+                    w.remove_flow_swap(f as u32);
+                    mirror.swap_remove(f);
+                }
+                // Occasionally refresh a capacity (epoch-style).
+                if next() % 4 == 0 {
+                    let c = next() % n_cons;
+                    w.set_con_cap(c, (next() % 50) as f64 / 3.0);
+                }
+
+                // From-scratch build of the identical system.
+                let n = mirror.len();
+                for m in members.iter_mut() {
+                    m.clear();
+                }
+                for (f, cs) in mirror.iter().enumerate() {
+                    for &c in cs {
+                        members[c as usize].push(f as u32);
+                    }
+                }
+                full.begin(n, cap);
+                for (c, m) in members.iter().enumerate() {
+                    full.push_constraint(w.con_cap[c], m);
+                }
+                let expect = full.solve().to_vec();
+                let got = w.solve();
+                prop_assert!(expect.len() == got.len());
+                for f in 0..n {
+                    prop_assert!(
+                        expect[f].to_bits() == got[f].to_bits(),
+                        "flow {f}: from-scratch {} vs warm {} after churn",
+                        expect[f],
+                        got[f]
+                    );
+                }
             }
         }
     }

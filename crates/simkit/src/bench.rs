@@ -54,6 +54,14 @@ pub struct BenchSuite {
     suite: String,
     smoke: bool,
     results: Vec<BenchResult>,
+    /// Deterministic work counters (e.g. event-loop iterations): gated by
+    /// `bench_diff --gate` exactly like timings, so an algorithmic
+    /// regression (event-count blowup) fails CI even when wall-time noise
+    /// hides it.
+    counters: Vec<(String, f64)>,
+    /// Report-only metadata (e.g. events/sec): written to the JSON and
+    /// shown by `bench_diff`, never gated.
+    meta: Vec<(String, f64)>,
 }
 
 impl BenchSuite {
@@ -67,7 +75,20 @@ impl BenchSuite {
             suite: suite.to_string(),
             smoke,
             results: Vec::new(),
+            counters: Vec::new(),
+            meta: Vec::new(),
         }
+    }
+
+    /// Record a deterministic work counter (gated by `bench_diff --gate`
+    /// like a timing: an increase beyond the gate factor fails).
+    pub fn counter(&mut self, name: &str, value: f64) {
+        self.counters.push((name.to_string(), value));
+    }
+
+    /// Record report-only metadata (written to the JSON, never gated).
+    pub fn meta(&mut self, name: &str, value: f64) {
+        self.meta.push((name.to_string(), value));
     }
 
     /// True when `--smoke` was passed; bench binaries can use this to
@@ -138,9 +159,34 @@ impl BenchSuite {
             );
         }
 
+        if !self.counters.is_empty() {
+            println!("{:<44} {:>14}", "counter", "value");
+            for (name, value) in &self.counters {
+                println!("{name:<44} {value:>14.1}");
+            }
+        }
+        for (name, value) in &self.meta {
+            println!("meta {name} = {value:.1}");
+        }
+
+        let kv = |pairs: &[(String, f64)]| {
+            Value::Array(
+                pairs
+                    .iter()
+                    .map(|(name, value)| {
+                        Value::Object(vec![
+                            ("name".into(), Value::Str(name.clone())),
+                            ("value".into(), Value::Num(*value)),
+                        ])
+                    })
+                    .collect(),
+            )
+        };
         let json = Value::Object(vec![
             ("suite".into(), Value::Str(self.suite.clone())),
             ("smoke".into(), Value::Bool(self.smoke)),
+            ("counters".into(), kv(&self.counters)),
+            ("meta".into(), kv(&self.meta)),
             (
                 "benchmarks".into(),
                 Value::Array(

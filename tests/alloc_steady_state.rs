@@ -17,10 +17,13 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use iosched_analytics::JobEstimate;
+use iosched_cluster::{ClusterSim, ExecSpec, JobCompletion, Phase};
 use iosched_core::{AdaptiveConfig, AdaptivePolicy, EstimateBook, IoAwareConfig, IoAwarePolicy};
+use iosched_lustre::LustreConfig;
 use iosched_simkit::ids::JobId;
+use iosched_simkit::rng::SimRng;
 use iosched_simkit::time::{SimDuration, SimTime};
-use iosched_simkit::units::gibps;
+use iosched_simkit::units::{gib, gibps};
 use iosched_slurm::policy::{NodePolicy, SchedulingPolicy};
 use iosched_slurm::{
     backfill_pass_into, BackfillConfig, JobRegistry, PriorityPolicy, RunningView, SchedJob,
@@ -185,4 +188,56 @@ fn scheduler_pass_is_allocation_free_in_steady_state() {
         |p, book| *book = p.take_book(),
     );
     assert_eq!(d, 0, "adaptive pass allocated {d} times per window");
+}
+
+/// The event-calendar advance/harvest path must also be allocation-free
+/// in steady state: `next_event_time` (O(1) calendar peek plus its debug
+/// oracle scan), `advance_to_into` (settle loop, buffered stream
+/// harvests, calendar drain), phase transitions (cursored phase lists,
+/// warm-started rate solves with the full-rebuild debug oracle) — zero
+/// heap allocations per event once every buffer reaches working size.
+#[test]
+fn cluster_advance_harvest_is_allocation_free_in_steady_state() {
+    let mut c = ClusterSim::new(15, LustreConfig::stria().noiseless(), SimRng::from_seed(11));
+    // Ten jobs alternating compute and write for hundreds of phases:
+    // events keep firing throughout the windows, with no job start or
+    // completion inside them.
+    for j in 0..10u64 {
+        let mut phases = Vec::with_capacity(400);
+        for k in 0..200u64 {
+            phases.push(Phase::Compute(SimDuration::from_secs(3 + (j + k) % 5)));
+            phases.push(Phase::Write {
+                threads_per_node: 2,
+                bytes_per_thread: gib(0.2),
+            });
+        }
+        c.start_job(SimTime::ZERO, JobId(j), &ExecSpec { nodes: 1, phases })
+            .unwrap();
+    }
+
+    let mut done: Vec<JobCompletion> = Vec::new();
+    let step = |c: &mut ClusterSim, done: &mut Vec<JobCompletion>| {
+        let t = c.next_event_time().expect("events remain");
+        c.advance_to_into(t, done);
+        assert!(done.is_empty(), "no job may finish inside a window");
+    };
+
+    // Warm-up: slabs, scratch buffers, solver arrays and the calendar
+    // reach their working capacities.
+    for _ in 0..200 {
+        step(&mut c, &mut done);
+    }
+
+    let mut best = u64::MAX;
+    for _ in 0..3 {
+        let before = allocations();
+        for _ in 0..100 {
+            step(&mut c, &mut done);
+        }
+        best = best.min(allocations() - before);
+    }
+    assert_eq!(
+        best, 0,
+        "cluster advance/harvest allocated {best} times per window"
+    );
 }

@@ -5,13 +5,97 @@
 # cache — the workspace has zero external dependencies by design, and
 # `.cargo/config.toml` pins `net.offline = true` so a reintroduced
 # dependency fails at resolution time rather than fetching silently.
+#
+# Flags:
+#   --full-scale   additionally run the full scale sweep (several
+#                  minutes) and gate it against the committed
+#                  results/bench/BENCH_scale.json baseline. The default
+#                  per-commit loop runs the scale suite in --smoke mode
+#                  and gates its deterministic event counters only.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+FULL_SCALE=0
+for arg in "$@"; do
+    case "$arg" in
+        --full-scale) FULL_SCALE=1 ;;
+        *)
+            echo "ci.sh: unknown argument '$arg' (supported: --full-scale)" >&2
+            exit 2
+            ;;
+    esac
+done
 
 # Every build in this gate treats warnings as errors.
 export RUSTFLAGS="-D warnings"
 
-step() { printf '\n== %s ==\n' "$*"; }
+# --- per-step timing ---------------------------------------------------
+# `step` closes the previous step and starts a new one; the EXIT trap
+# prints the table (and appends it to $GITHUB_STEP_SUMMARY when set) even
+# when a step fails.
+STEP_NAMES=()
+STEP_SECS=()
+CURRENT_STEP=""
+STEP_START=$SECONDS
+
+close_step() {
+    if [[ -n "$CURRENT_STEP" ]]; then
+        STEP_NAMES+=("$CURRENT_STEP")
+        STEP_SECS+=("$((SECONDS - STEP_START))")
+    fi
+}
+
+step() {
+    close_step
+    CURRENT_STEP="$*"
+    STEP_START=$SECONDS
+    printf '\n== %s ==\n' "$*"
+}
+
+print_timings() {
+    close_step
+    CURRENT_STEP=""
+    [[ ${#STEP_NAMES[@]} -eq 0 ]] && return 0
+    printf '\n== step timings ==\n'
+    local i
+    for i in "${!STEP_NAMES[@]}"; do
+        printf '%6ss  %s\n' "${STEP_SECS[$i]}" "${STEP_NAMES[$i]}"
+    done
+    if [[ -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
+        {
+            printf '\n### ci.sh step timings\n\n'
+            printf '| step | seconds |\n| --- | ---: |\n'
+            for i in "${!STEP_NAMES[@]}"; do
+                printf '| %s | %s |\n' "${STEP_NAMES[$i]}" "${STEP_SECS[$i]}"
+            done
+        } >>"$GITHUB_STEP_SUMMARY"
+    fi
+}
+
+# --- bench baseline stash/restore --------------------------------------
+# Bench runs overwrite the committed results/bench/BENCH_*.json
+# baselines in place. Stash them all up front and restore from the EXIT
+# trap, so the tree is left clean even when a gate fails mid-run (the
+# old per-step copies leaked the mktemp file and left measured numbers
+# in the tree on failure). This run's measured outputs are preserved in
+# results/bench/ci-run/ for debugging and artifact upload.
+BASELINE_DIR="$(mktemp -d)"
+cp results/bench/BENCH_*.json "$BASELINE_DIR"/
+
+cleanup() {
+    local status=$?
+    mkdir -p results/bench/ci-run
+    cp -f results/bench/BENCH_*.json results/bench/ci-run/ 2>/dev/null || true
+    cp -f "$BASELINE_DIR"/BENCH_*.json results/bench/
+    rm -rf "$BASELINE_DIR"
+    print_timings
+    exit "$status"
+}
+trap cleanup EXIT
+
+bench_diff() {
+    cargo run --release --offline -q -p iosched-bench --bin bench_diff -- "$@"
+}
 
 step "format check"
 cargo fmt --all --check
@@ -35,42 +119,53 @@ step "determinism gate: two full Workload 1 runs, bit-identical output"
 cargo test --release --offline --test determinism -- --include-ignored
 
 step "bench gate: micro suite within 2x of the committed baseline"
-# Stash the committed full-mode baseline before any bench run overwrites
-# it, re-measure, gate on >2x min-ns regressions, then restore the
-# baseline so CI leaves the tree clean. (Refresh the baseline with
-# 'cargo bench -p iosched-bench --bench micro' when a change is supposed
-# to shift performance.)
-micro_baseline="$(mktemp)"
-cp results/bench/BENCH_micro.json "$micro_baseline"
+# Re-measure and gate on >2x min-ns regressions against the committed
+# baseline (stashed above; the EXIT trap restores it). Refresh the
+# baseline with 'cargo bench -p iosched-bench --bench micro' when a
+# change is supposed to shift performance.
 cargo bench --offline -p iosched-bench --bench micro
-cargo run --release --offline -p iosched-bench --bin bench_diff -- \
-    --gate 2.0 "$micro_baseline" results/bench/BENCH_micro.json
-cp "$micro_baseline" results/bench/BENCH_micro.json
-rm -f "$micro_baseline"
+bench_diff --gate 2.0 "$BASELINE_DIR/BENCH_micro.json" results/bench/BENCH_micro.json
 
 step "bench gate: fig6 campaign timings and event counts within 2x of baseline"
-# Same stash/measure/gate/restore dance. Beyond timings, this file
-# carries deterministic `events/<label>` counters (total event-loop
-# iterations per campaign), so an event-count blowup fails the gate even
-# when wall-clock noise hides it.
-fig6_baseline="$(mktemp)"
-cp results/bench/BENCH_fig6_campaign.json "$fig6_baseline"
+# Beyond timings, this file carries deterministic `events/<label>`
+# counters (total event-loop iterations per campaign), so an event-count
+# blowup fails the gate even when wall-clock noise hides it.
 cargo bench --offline -p iosched-bench --bench fig6_campaign
-cargo run --release --offline -p iosched-bench --bin bench_diff -- \
-    --gate 2.0 "$fig6_baseline" results/bench/BENCH_fig6_campaign.json
-cp "$fig6_baseline" results/bench/BENCH_fig6_campaign.json
-rm -f "$fig6_baseline"
+bench_diff --gate 2.0 "$BASELINE_DIR/BENCH_fig6_campaign.json" results/bench/BENCH_fig6_campaign.json
 
 step "bench smoke (emits results/bench/BENCH_*.json)"
-for suite in fig3_workload1 fig4_throughput fig5_workload2 fig6_campaign; do
+for suite in fig3_workload1 fig4_throughput fig5_workload2 fig6_campaign scale; do
     cargo bench --offline -p iosched-bench --bench "$suite" -- --smoke
 done
-for suite in micro fig3_workload1 fig4_throughput fig5_workload2 fig6_campaign; do
+for suite in micro fig3_workload1 fig4_throughput fig5_workload2 fig6_campaign scale; do
     test -s "results/bench/BENCH_${suite}.json" || {
         echo "missing bench output BENCH_${suite}.json" >&2
         exit 1
     }
 done
+
+step "bench gate: scale smoke event counters match the committed baseline"
+# The smoke replay's timings are single samples and never gate, but its
+# event counters are deterministic; any growth is algorithmic. Gated
+# against the committed smoke baseline (refresh with 'cargo bench -p
+# iosched-bench --bench scale -- --smoke' + cp to BENCH_scale_smoke.json
+# when the trace or scheduler legitimately changes).
+bench_diff --gate 2.0 --counters-only \
+    "$BASELINE_DIR/BENCH_scale_smoke.json" results/bench/BENCH_scale.json
+
+if [[ $FULL_SCALE -eq 1 ]]; then
+    step "bench gate (--full-scale): full scale sweep within 2x of baseline"
+    # The full sweep: strong-scaling trio (same trace, 1x/10x/100x
+    # machine) plus the 100k-job load-matched point on a 1 005-node
+    # cluster. Gates both timings and event counters; the emitted meta
+    # includes the headline events_per_sec_ratio/default_x1_over_x100,
+    # which must stay within 3x. Refresh the baseline with 'cargo bench
+    # -p iosched-bench --bench scale'.
+    cargo bench --offline -p iosched-bench --bench scale
+    bench_diff --gate 2.0 "$BASELINE_DIR/BENCH_scale.json" results/bench/BENCH_scale.json
+fi
+
+echo
 echo "tip: compare against a stashed baseline with" \
     "'cargo run --release --offline -p iosched-bench --bin bench_diff --" \
     "<before.json> <after.json>' (report-only; --gate <factor> to fail on regressions)"

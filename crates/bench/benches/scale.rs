@@ -1,0 +1,140 @@
+//! Bench target for the **scale sweep**: streaming synthetic-SWF replay
+//! on machines 1×–100× the paper's testbed (15 → 1 500 nodes, 56 →
+//! 5 600 OSTs), up to 100k jobs per point.
+//!
+//! Two kinds of points:
+//!
+//! * **Strong scaling** (`{policy}_x{f}`): the *same* testbed-sized
+//!   trace replayed on the 1×, 10× and 100× machines. Only the data
+//!   structures grow (OST arrays, node tables, constraint lists), so
+//!   per-event cost — `events_per_sec` — must stay flat; a super-linear
+//!   scan anywhere in the hot path shows up as the big machine falling
+//!   behind. The headline criterion is that `events_per_sec` stays
+//!   within 3× between the 1× and 100× machines.
+//! * **Load-matched** (`{policy}_x{f}_load`): a trace sized for the
+//!   scaled machine itself — the acceptance workload (100k jobs on a
+//!   1 005-node cluster) streamed through the bounded admission window.
+//!
+//! Per point the suite records **counters** (`events/…`,
+//! `events_per_job/…`) — deterministic event-loop iteration counts,
+//! gated by `bench_diff --gate` so an event blowup fails CI even when
+//! wall-time noise hides it — and **meta** (`events_per_sec/…`,
+//! `ns_per_job/…`, `events_per_sec_ratio/…`) wall-clock diagnostics,
+//! report-only.
+//!
+//! `--smoke` replays small traces only (CI's per-commit loop); the full
+//! sweep runs on demand (`./ci.sh --full-scale`) against the committed
+//! baseline `results/bench/BENCH_scale.json`.
+
+use iosched_experiments::driver::{ExperimentConfig, SchedulerKind};
+use iosched_experiments::streaming::{run_streaming, StreamingOptions, StreamingResult};
+use iosched_simkit::bench::BenchSuite;
+use iosched_simkit::units::gibps;
+use iosched_workloads::{JobSubmission, SwfOptions, SynthConfig, SynthTrace};
+use std::hint::black_box;
+
+const SEED: u64 = 2024;
+
+/// Which machine the synthetic trace is sized for.
+#[derive(Clone, Copy, PartialEq)]
+enum Load {
+    /// Sized for the 15-node testbed regardless of machine factor —
+    /// the strong-scaling points (identical workload, bigger machine).
+    Testbed,
+    /// Sized for the scaled machine itself — the load-matched points.
+    Matched,
+}
+
+/// The deterministic synthetic trace for a machine of `nodes` nodes.
+fn trace(nodes: usize, jobs: u64) -> impl Iterator<Item = JobSubmission> {
+    SynthTrace::new(SynthConfig::sized_for(nodes, jobs, SEED)).submissions(SwfOptions {
+        io_fraction: 0.3,
+        io_rate_per_node_bps: gibps(0.2),
+        ..SwfOptions::default()
+    })
+}
+
+/// One streaming replay of `jobs` synthetic jobs on the `factor`-scaled
+/// testbed.
+fn replay(kind: SchedulerKind, factor: usize, jobs: u64, load: Load) -> StreamingResult {
+    let mut cfg = ExperimentConfig::paper_scaled(kind, SEED, factor);
+    cfg.pretrained = false;
+    let trace_nodes = match load {
+        Load::Testbed => ExperimentConfig::paper(kind, SEED).nodes,
+        Load::Matched => cfg.nodes,
+    };
+    let opts = StreamingOptions::default();
+    let res = run_streaming(&cfg, trace(trace_nodes, jobs), &opts);
+    assert!(
+        res.peak_resident_jobs <= opts.window,
+        "residency must stay bounded by the admission window"
+    );
+    res
+}
+
+fn main() {
+    let mut suite = BenchSuite::from_args("scale");
+
+    // (policy, machine factor, jobs, trace sizing). The strong-scaling
+    // trio replays one 20k-job testbed trace on every machine; the
+    // load-matched point is the acceptance workload — 100k jobs streamed
+    // onto a 1 005-node (67×) cluster.
+    let adaptive = SchedulerKind::Adaptive {
+        limit_bps: gibps(20.0),
+        two_group: true,
+    };
+    let full: Vec<(SchedulerKind, usize, u64, Load)> = vec![
+        (SchedulerKind::DefaultBackfill, 1, 20_000, Load::Testbed),
+        (SchedulerKind::DefaultBackfill, 10, 20_000, Load::Testbed),
+        (SchedulerKind::DefaultBackfill, 100, 20_000, Load::Testbed),
+        (SchedulerKind::DefaultBackfill, 67, 100_000, Load::Matched),
+        (adaptive, 1, 20_000, Load::Testbed),
+    ];
+    let smoke: Vec<(SchedulerKind, usize, u64, Load)> = vec![
+        (SchedulerKind::DefaultBackfill, 1, 2_000, Load::Testbed),
+        (SchedulerKind::DefaultBackfill, 100, 2_000, Load::Testbed),
+    ];
+    let plan = if suite.is_smoke() { smoke } else { full };
+
+    // One conventional timed entry so the suite carries a wall-clock
+    // benchmark alongside the counters (kept small: the sweep itself is
+    // measured once per point, not repeated).
+    suite.bench("stream_default_x1_1k", || {
+        black_box(replay(SchedulerKind::DefaultBackfill, 1, 1_000, Load::Testbed).loop_iterations);
+    });
+
+    let mut events_per_sec: Vec<(String, f64)> = Vec::new();
+    for (kind, factor, jobs, load) in plan {
+        let suffix = if load == Load::Matched { "_load" } else { "" };
+        let label = format!("{}_x{factor}{suffix}", kind.label());
+        let start = std::time::Instant::now();
+        let res = replay(kind, factor, jobs, load);
+        let elapsed = start.elapsed().as_secs_f64();
+        assert!(res.jobs_completed > 0, "{label}: no jobs completed");
+        let events = res.loop_iterations as f64;
+        let per_job = events / res.jobs_completed as f64;
+        suite.counter(&format!("events/{label}"), events);
+        suite.counter(&format!("events_per_job/{label}"), per_job);
+        suite.meta(&format!("events_per_sec/{label}"), events / elapsed);
+        suite.meta(
+            &format!("ns_per_job/{label}"),
+            elapsed * 1e9 / res.jobs_completed as f64,
+        );
+        events_per_sec.push((label.clone(), events / elapsed));
+        println!(
+            "scale {label}: {} jobs in {elapsed:.2} s wall — {events:.0} events \
+             ({:.0} events/s, {per_job:.1} events/job, peak resident {})",
+            res.jobs_completed,
+            events / elapsed,
+            res.peak_resident_jobs,
+        );
+    }
+
+    // The headline scaling ratio: per-event cost of the 100× machine
+    // relative to the testbed, same workload. Must stay within 3×.
+    let eps = |l: &str| events_per_sec.iter().find(|(n, _)| n == l).map(|&(_, v)| v);
+    if let (Some(x1), Some(x100)) = (eps("default_x1"), eps("default_x100")) {
+        suite.meta("events_per_sec_ratio/default_x1_over_x100", x1 / x100);
+    }
+    suite.finish();
+}

@@ -11,6 +11,13 @@
 //!   Smoke-mode files (`--smoke` runs, one untrusted sample per case)
 //!   are refused: gating on them would be noise.
 //!
+//! `--gate <factor> --counters-only` restricts the gate to the
+//! deterministic `counters` entries and skips the timing cases entirely.
+//! Counters carry no timing noise — they are exact event tallies — so
+//! this mode accepts smoke files, which is how CI's per-commit loop
+//! gates the scale suite's event counts without paying for the full
+//! sweep.
+//!
 //! Typical workflow — stash a baseline, make a change, re-run the bench,
 //! then:
 //!
@@ -108,19 +115,25 @@ fn load(path: &str) -> Result<Suite, String> {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: bench_diff [--gate <factor>] <before.json> <after.json>");
+    eprintln!("usage: bench_diff [--gate <factor> [--counters-only]] <before.json> <after.json>");
     eprintln!("  compares two BENCH_*.json suite files (report-only by default;");
-    eprintln!("  with --gate, exit 1 on any >factor-times min-ns regression)");
+    eprintln!("  with --gate, exit 1 on any >factor-times min-ns regression;");
+    eprintln!("  --counters-only gates only the deterministic counters, so");
+    eprintln!("  smoke-mode files are accepted)");
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut gate: Option<f64> = None;
+    let mut counters_only = false;
     let mut paths: Vec<&String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
-        if args[i] == "--gate" {
+        if args[i] == "--counters-only" {
+            counters_only = true;
+            i += 1;
+        } else if args[i] == "--gate" {
             let Some(raw) = args.get(i + 1) else {
                 return usage();
             };
@@ -161,7 +174,14 @@ fn main() -> ExitCode {
             before.suite, after.suite
         );
     }
-    if gate.is_some() && (before.smoke || after.smoke) {
+    if counters_only && gate.is_none() {
+        eprintln!("bench_diff: --counters-only only makes sense with --gate");
+        return ExitCode::from(2);
+    }
+    // Timing cases from smoke runs are one untrusted sample each; they
+    // can never gate. Counters are exact, so --counters-only may gate
+    // smoke files.
+    if gate.is_some() && !counters_only && (before.smoke || after.smoke) {
         eprintln!(
             "bench_diff: refusing to gate on a smoke-mode file ({}{}{}): \
              single-sample timings are not trustworthy",
@@ -192,7 +212,7 @@ fn main() -> ExitCode {
                     a.name, b.min_ns, a.min_ns, dmin, dmed
                 );
                 if let Some(factor) = gate {
-                    if a.min_ns > b.min_ns * factor {
+                    if !counters_only && a.min_ns > b.min_ns * factor {
                         regressions.push(format!(
                             "{}: {:.1} ns -> {:.1} ns ({:.2}x > {factor}x allowed)",
                             a.name,

@@ -144,6 +144,18 @@ impl ExperimentConfig {
             analytics: AnalyticsConfig::default(),
         }
     }
+
+    /// The paper's testbed grown `factor ×` in horizontal extent:
+    /// `factor × 15` compute nodes in front of a
+    /// [`LustreConfig::scaled`] file system. `factor = 67` ≈ a 1 000-node
+    /// machine, `factor = 667` ≈ 10 000 nodes — the scale sweep's axis.
+    pub fn paper_scaled(scheduler: SchedulerKind, seed: u64, factor: usize) -> Self {
+        assert!(factor >= 1, "scale factor must be at least 1");
+        let mut cfg = Self::paper(scheduler, seed);
+        cfg.nodes *= factor;
+        cfg.fs = cfg.fs.scaled(factor);
+        cfg
+    }
 }
 
 /// Per-job outcome record.
@@ -219,8 +231,9 @@ impl ExperimentResult {
 }
 
 /// The scheduler-policy dispatch (static enum rather than trait objects:
-/// `SchedulingPolicy` has an associated tracker type).
-enum PolicyImpl {
+/// `SchedulingPolicy` has an associated tracker type). Shared with the
+/// streaming replay driver ([`crate::streaming`]).
+pub(crate) enum PolicyImpl {
     Default(NodePolicy),
     IoAware(IoAwarePolicy),
     Adaptive(AdaptivePolicy),
@@ -228,7 +241,7 @@ enum PolicyImpl {
 }
 
 impl PolicyImpl {
-    fn new(kind: SchedulerKind, qos_fraction: f64) -> Self {
+    pub(crate) fn new(kind: SchedulerKind, qos_fraction: f64) -> Self {
         match kind {
             SchedulerKind::DefaultBackfill => PolicyImpl::Default(NodePolicy::default()),
             SchedulerKind::IoAware { limit_bps } => {
@@ -252,7 +265,7 @@ impl PolicyImpl {
     /// I/O-aware policies for the duration of the round (`begin_round` /
     /// `take_book`), so no estimate map is rebuilt or cloned per pass.
     #[allow(clippy::too_many_arguments)]
-    fn run_pass(
+    pub(crate) fn run_pass(
         &mut self,
         book: &mut EstimateBook,
         running: &[RunningView<'_>],
@@ -511,9 +524,13 @@ pub fn run_experiment_with_scratch(
             last_sched = Some(now);
             next_sched = now + cfg.sched_period;
 
-            registry.wait_queue_ids_into(now, cfg.priority_policy, queue_ids);
+            registry.wait_queue_ids_limited_into(
+                now,
+                cfg.priority_policy,
+                cfg.max_queue_depth,
+                queue_ids,
+            );
             if !queue_ids.is_empty() {
-                queue_ids.truncate(cfg.max_queue_depth);
                 queue_refs.clear();
                 queue_refs.extend(queue_ids.iter().map(|&id| &entry(&jobs, id).meta));
                 registry.running_ids_into(running_pairs);

@@ -23,6 +23,7 @@ pub mod driver;
 pub mod figures;
 pub mod metrics;
 pub mod pretrain;
+pub mod streaming;
 
 pub use campaign::{representative_run, run_campaign, CampaignResult};
 pub use driver::{
@@ -31,3 +32,4 @@ pub use driver::{
 };
 pub use metrics::{per_class_metrics, scheduling_metrics, SchedulingMetrics};
 pub use pretrain::pretrain_isolated;
+pub use streaming::{run_streaming, StreamingOptions, StreamingResult};

@@ -3,6 +3,27 @@
 use iosched_simkit::time::SimDuration;
 use iosched_simkit::units::gibps;
 
+/// How the per-OST noise factors are drawn at each epoch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum NoiseMode {
+    /// One sequential draw per OST per epoch from the file system's RNG
+    /// stream — the original behaviour, byte-for-byte reproducible
+    /// against every recorded result.
+    #[default]
+    Sequential,
+    /// Counter-based: the factor for `(epoch, ost)` is a pure function of
+    /// the seed, derived via an RNG fork keyed by the pair. Since only
+    /// occupied OSTs ever have their capacity observed, factors are drawn
+    /// lazily — O(occupied) per epoch instead of O(n_ost). The scale
+    /// sweep's grown machines opt in: at 5 600+ OSTs the dense resample
+    /// is otherwise the dominant simulation cost.
+    Indexed,
+}
+iosched_simkit::impl_json_enum!(NoiseMode {
+    Sequential,
+    Indexed
+});
+
 /// Parameters of the Lustre-like file-system model.
 ///
 /// All rates are bytes per second. The defaults ([`LustreConfig::stria`])
@@ -31,6 +52,8 @@ pub struct LustreConfig {
     /// Log-space σ of the multiplicative log-normal noise applied to each
     /// OST's bandwidth. 0 disables noise.
     pub noise_sigma: f64,
+    /// How the per-OST noise factors are drawn (see [`NoiseMode`]).
+    pub noise_mode: NoiseMode,
     /// How often the per-OST noise factors are resampled. Also the cadence
     /// at which rates are re-solved for fatigue drift while streams run.
     pub noise_epoch: SimDuration,
@@ -61,6 +84,7 @@ iosched_simkit::impl_json_struct!(LustreConfig {
     node_cap_bps,
     fabric_cap_bps,
     noise_sigma,
+    noise_mode,
     noise_epoch,
     fatigue_phi,
     fatigue_tau_up,
@@ -80,6 +104,7 @@ impl LustreConfig {
             node_cap_bps: gibps(5.0),
             fabric_cap_bps: gibps(22.0),
             noise_sigma: 0.12,
+            noise_mode: NoiseMode::Sequential,
             noise_epoch: SimDuration::from_secs(10),
             fatigue_phi: 0.93,
             fatigue_tau_up: SimDuration::from_secs(25),
@@ -107,6 +132,27 @@ impl LustreConfig {
     /// workload-adaptive gains vanish without congestion overhead.
     pub fn without_interference(mut self) -> Self {
         self.interference_gamma = 0.0;
+        self
+    }
+
+    /// Scale the file system's horizontal extent by `factor`: `factor ×`
+    /// the OSTs and `factor ×` the fabric cap, with per-OST, per-stream
+    /// and per-node characteristics unchanged. This is how parallel file
+    /// systems actually grow (more OSS/OST pairs behind a wider fabric),
+    /// and it is the machine-size knob of the scale sweep: `scaled(1)` is
+    /// the testbed, `scaled(100)` a 5 600-OST flagship-class system.
+    ///
+    /// Grown machines (`factor > 1`) switch to [`NoiseMode::Indexed`] so
+    /// the per-epoch noise resample costs O(occupied OSTs) instead of
+    /// O(n_ost); `scaled(1)` is the exact identity, keeping the testbed
+    /// byte-for-byte on the recorded sequential draws.
+    pub fn scaled(mut self, factor: usize) -> Self {
+        assert!(factor >= 1, "scale factor must be at least 1");
+        self.n_ost *= factor;
+        self.fabric_cap_bps *= factor as f64;
+        if factor > 1 {
+            self.noise_mode = NoiseMode::Indexed;
+        }
         self
     }
 
@@ -209,6 +255,24 @@ mod tests {
     fn no_interference_shares_ideally() {
         let c = LustreConfig::stria().without_interference();
         assert_eq!(c.ost_effective_bps(10), c.ost_bandwidth_bps);
+    }
+
+    #[test]
+    fn scaled_multiplies_extent_not_parts() {
+        let base = LustreConfig::stria();
+        let big = LustreConfig::stria().scaled(10);
+        big.validate().unwrap();
+        assert_eq!(big.n_ost, base.n_ost * 10);
+        assert_eq!(big.fabric_cap_bps, base.fabric_cap_bps * 10.0);
+        assert_eq!(big.ost_bandwidth_bps, base.ost_bandwidth_bps);
+        assert_eq!(big.node_cap_bps, base.node_cap_bps);
+        assert_eq!(big.stream_cap_bps, base.stream_cap_bps);
+        // Grown machines use lazy indexed noise; factor 1 is the identity.
+        assert_eq!(big.noise_mode, NoiseMode::Indexed);
+        assert_eq!(
+            LustreConfig::stria().scaled(1).noise_mode,
+            NoiseMode::Sequential
+        );
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! change, so `next_change_time` is O(1) and the integrator does not
 //! rescan all streams per step.
 
-use crate::config::LustreConfig;
+use crate::config::{LustreConfig, NoiseMode};
 #[cfg(debug_assertions)]
 use crate::solver::IndexedSolver;
 use crate::solver::WarmSolver;
@@ -40,6 +40,15 @@ const DONE_EPS_BYTES: f64 = 1.0;
 /// would report `FAR_FUTURE` while streams remain active and wedge the
 /// host event loop.
 const STALL_REPOLL: SimDuration = SimDuration::from_secs(1);
+
+/// Fatigue below this is snapped to exact zero so fully-recovered OSTs
+/// leave the fatigued list. The cutoff sits far below `f64::EPSILON / 2`,
+/// so `1.0 - f` rounds to exactly `1.0` for any residue this small — the
+/// pressured-growth rule `1 − (1 − f)·up` produces bit-identical results
+/// whether the residue was kept or snapped, and decay keeps it below the
+/// cutoff. Draining from full fatigue to here takes ≈ 41 τ_down (hours of
+/// simulated idle time), after which the list genuinely empties.
+const FATIGUE_SNAP: f64 = 1e-18;
 
 /// A point-in-time view of file-system load, used by the monitoring
 /// substrate to build metric samples.
@@ -109,6 +118,17 @@ pub struct LustreSim {
     stream_ids: Vec<StreamId>,
     /// Active-stream count per OST, maintained on add/remove.
     ost_occ: Vec<u32>,
+    /// OSTs with at least one active stream, unordered (`swap_remove`
+    /// maintenance). Lets the per-solve capacity refresh and the fatigue
+    /// integrator touch only occupied OSTs instead of scanning all
+    /// `n_ost` — the O(OSTs)-per-solve term the scale sweep exposed.
+    occupied_osts: Vec<u32>,
+    /// `occupied_pos[ost]` = slot + 1 in `occupied_osts`, 0 when absent.
+    occupied_pos: Vec<u32>,
+    /// OSTs with nonzero fatigue, unordered (same slot discipline).
+    fatigued_osts: Vec<u32>,
+    /// `fatigued_pos[ost]` = slot + 1 in `fatigued_osts`, 0 when absent.
+    fatigued_pos: Vec<u32>,
     /// Active-stream count per node (grown on demand), maintained on
     /// add/remove.
     node_occ: Vec<u32>,
@@ -119,6 +139,13 @@ pub struct LustreSim {
     notified: Vec<(SimTime, StreamId, StreamTag)>,
     /// Multiplicative noise factor per OST for the current epoch.
     noise: Vec<f64>,
+    /// Epoch counter for [`NoiseMode::Indexed`]: `noise[ost]` is current
+    /// iff `noise_gen[ost] == noise_epoch_idx`. Factors are derived
+    /// lazily — an idle OST's capacity is never observed, so its draw
+    /// can be skipped without affecting any outcome.
+    noise_epoch_idx: u64,
+    /// Per-OST epoch stamp for the lazy refresh (`u64::MAX` = stale).
+    noise_gen: Vec<u64>,
     /// Fatigue level per OST ∈ [0, 1]: sustained multi-stream pressure
     /// drives it toward 1 (degrading effective bandwidth by
     /// `1 − φ·fatigue`), idleness lets it recover.
@@ -155,6 +182,10 @@ pub struct LustreSim {
     group_cursor: Vec<u32>,
     #[cfg(debug_assertions)]
     group_members: Vec<u32>,
+    /// Scratch for the dense-rule fatigue oracle (capacity reused so the
+    /// debug check stays allocation-free in steady state).
+    #[cfg(debug_assertions)]
+    fatigue_oracle: Vec<f64>,
     /// Scratch slab indices of streams harvested this step.
     done_scratch: Vec<u32>,
 }
@@ -168,7 +199,7 @@ impl LustreSim {
     pub fn new(cfg: LustreConfig, mut rng: SimRng) -> Self {
         cfg.validate().expect("invalid LustreConfig");
         let mut noise = vec![1.0; cfg.n_ost];
-        if cfg.noise_sigma > 0.0 {
+        if cfg.noise_sigma > 0.0 && cfg.noise_mode == NoiseMode::Sequential {
             for f in noise.iter_mut() {
                 *f = rng.lognormal(1.0, cfg.noise_sigma);
             }
@@ -182,6 +213,10 @@ impl LustreSim {
             fatigue: vec![0.0; cfg.n_ost],
             health: vec![1.0; cfg.n_ost],
             ost_occ: vec![0; cfg.n_ost],
+            occupied_osts: Vec::new(),
+            occupied_pos: vec![0; cfg.n_ost],
+            fatigued_osts: Vec::new(),
+            fatigued_pos: vec![0; cfg.n_ost],
             cfg,
             rng,
             now: SimTime::ZERO,
@@ -191,6 +226,8 @@ impl LustreSim {
             node_occ: Vec::new(),
             completed: Vec::new(),
             notified: Vec::new(),
+            noise_epoch_idx: 0,
+            noise_gen: vec![u64::MAX; noise.len()],
             noise,
             next_noise_at,
             next_event_at: SimTime::FAR_FUTURE,
@@ -202,6 +239,8 @@ impl LustreSim {
             group_cursor: Vec::new(),
             #[cfg(debug_assertions)]
             group_members: Vec::new(),
+            #[cfg(debug_assertions)]
+            fatigue_oracle: Vec::new(),
             done_scratch: Vec::new(),
         }
     }
@@ -371,7 +410,7 @@ impl LustreSim {
                 // Everything fits in the buffer: release immediately.
                 self.notified.push((t.max(self.now), id, tag));
             }
-            self.ost_occ[ost] += 1;
+            self.ost_occ_inc(ost);
             self.node_occ[node] += 1;
             self.warm
                 .add_flow(&[node as u32, (node_slots + ost) as u32, fabric_con]);
@@ -397,10 +436,35 @@ impl LustreSim {
     fn remove_stream(&mut self, idx: usize) -> (StreamId, StreamState) {
         let s = self.streams.swap_remove(idx);
         let id = self.stream_ids.swap_remove(idx);
-        self.ost_occ[s.ost] -= 1;
+        self.ost_occ_dec(s.ost);
         self.node_occ[s.node] -= 1;
         self.warm.remove_flow_swap(idx as u32);
         (id, s)
+    }
+
+    /// Bump `ost`'s occupancy, listing it as occupied on the 0 → 1 edge.
+    fn ost_occ_inc(&mut self, ost: usize) {
+        self.ost_occ[ost] += 1;
+        if self.ost_occ[ost] == 1 {
+            self.occupied_pos[ost] = self.occupied_osts.len() as u32 + 1;
+            self.occupied_osts.push(ost as u32);
+            // A newly occupied OST's capacity becomes observable: its
+            // noise factor must be current before the next solve.
+            self.refresh_indexed_noise(ost);
+        }
+    }
+
+    /// Drop `ost`'s occupancy, delisting it on the 1 → 0 edge.
+    fn ost_occ_dec(&mut self, ost: usize) {
+        self.ost_occ[ost] -= 1;
+        if self.ost_occ[ost] == 0 {
+            let slot = (self.occupied_pos[ost] - 1) as usize;
+            self.occupied_osts.swap_remove(slot);
+            self.occupied_pos[ost] = 0;
+            if let Some(&moved) = self.occupied_osts.get(slot) {
+                self.occupied_pos[moved as usize] = slot as u32 + 1;
+            }
+        }
     }
 
     /// Rebuild the warm solver's constraint system from scratch: node
@@ -648,13 +712,21 @@ impl LustreSim {
             return;
         }
         debug_assert_eq!(self.warm.flow_count(), n, "warm membership out of sync");
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            self.occupied_osts.len(),
+            self.ost_occ.iter().filter(|&&c| c > 0).count(),
+            "occupied-OST list out of sync with the occupancy table"
+        );
         let node_slots = self.node_occ.len();
-        for ost in 0..self.cfg.n_ost {
-            let occ = self.ost_occ[ost];
-            if occ > 0 {
-                let cap = self.ost_capacity_bps(ost, occ as usize);
-                self.warm.set_con_cap(node_slots + ost, cap);
-            }
+        // Only occupied OSTs need fresh capacities: the warm solver never
+        // reads a memberless constraint's cap, so stale caps on idle OSTs
+        // are unobservable. This keeps the per-solve cost proportional to
+        // the active working set instead of the machine size.
+        for k in 0..self.occupied_osts.len() {
+            let ost = self.occupied_osts[k] as usize;
+            let cap = self.ost_capacity_bps(ost, self.ost_occ[ost] as usize);
+            self.warm.set_con_cap(node_slots + ost, cap);
         }
         let rates = self.warm.solve();
         for (i, s) in self.streams.iter_mut().enumerate() {
@@ -743,26 +815,140 @@ impl LustreSim {
         if self.cfg.noise_sigma == 0.0 {
             return;
         }
-        for f in self.noise.iter_mut() {
-            *f = self.rng.lognormal(1.0, self.cfg.noise_sigma);
+        match self.cfg.noise_mode {
+            NoiseMode::Sequential => {
+                for f in self.noise.iter_mut() {
+                    *f = self.rng.lognormal(1.0, self.cfg.noise_sigma);
+                }
+            }
+            NoiseMode::Indexed => {
+                // New epoch: stamps go stale wholesale; only occupied
+                // OSTs are refreshed now (idle ones lazily, if and when
+                // they gain a stream this epoch).
+                self.noise_epoch_idx += 1;
+                for k in 0..self.occupied_osts.len() {
+                    let ost = self.occupied_osts[k] as usize;
+                    self.refresh_indexed_noise(ost);
+                }
+            }
         }
+    }
+
+    /// Bring `noise[ost]` up to the current epoch under
+    /// [`NoiseMode::Indexed`]. The factor for `(epoch, ost)` is a pure
+    /// function of the RNG seed — `fork` does not consume generator
+    /// state — so the draw order (and which idle OSTs are never drawn at
+    /// all) cannot perturb any other subsystem.
+    #[inline]
+    fn refresh_indexed_noise(&mut self, ost: usize) {
+        if self.cfg.noise_sigma == 0.0
+            || self.cfg.noise_mode != NoiseMode::Indexed
+            || self.noise_gen[ost] == self.noise_epoch_idx
+        {
+            return;
+        }
+        self.noise_gen[ost] = self.noise_epoch_idx;
+        let label = self
+            .noise_epoch_idx
+            .wrapping_mul(self.cfg.n_ost as u64)
+            .wrapping_add(ost as u64);
+        self.noise[ost] = self.rng.fork(label).lognormal(1.0, self.cfg.noise_sigma);
     }
 
     /// Advance the per-OST fatigue state by `dt` seconds under the current
     /// occupancy (exact exponential relaxation for piecewise-constant
     /// pressure).
+    ///
+    /// Sparse: only OSTs on the fatigued or occupied lists are touched,
+    /// so the cost tracks the active working set rather than `n_ost`. In
+    /// debug builds the result is checked against the dense rule — equal
+    /// bits everywhere except residues snapped to exact zero.
     fn update_fatigue(&mut self, dt_secs: f64) {
         if self.cfg.fatigue_phi == 0.0 {
             return;
         }
         let up = (-dt_secs / self.cfg.fatigue_tau_up.as_secs_f64()).exp();
         let down = (-dt_secs / self.cfg.fatigue_tau_down.as_secs_f64()).exp();
-        for (ost, f) in self.fatigue.iter_mut().enumerate() {
-            if self.ost_occ[ost] as usize >= self.cfg.fatigue_threshold {
+        #[cfg(debug_assertions)]
+        let oracle = {
+            let mut oracle = std::mem::take(&mut self.fatigue_oracle);
+            oracle.clear();
+            oracle.extend(self.fatigue.iter().enumerate().map(|(ost, &f)| {
+                if self.ost_occ[ost] as usize >= self.cfg.fatigue_threshold {
+                    1.0 - (1.0 - f) * up
+                } else {
+                    f * down
+                }
+            }));
+            oracle
+        };
+        if self.cfg.fatigue_threshold == 0 {
+            // Degenerate config: *every* OST — occupied or not — counts
+            // as pressured, so the sparse walks below cannot cover the
+            // update. Apply the dense rule and rebuild the fatigued list.
+            for f in self.fatigue.iter_mut() {
                 *f = 1.0 - (1.0 - *f) * up;
-            } else {
-                *f *= down;
             }
+            self.fatigued_osts.clear();
+            self.fatigued_pos.iter_mut().for_each(|p| *p = 0);
+            for ost in 0..self.cfg.n_ost {
+                if self.fatigue[ost] > 0.0 {
+                    self.fatigued_pos[ost] = self.fatigued_osts.len() as u32 + 1;
+                    self.fatigued_osts.push(ost as u32);
+                }
+            }
+        } else {
+            // Pass 1: every fatigued OST either keeps accumulating
+            // (pressured) or decays — and leaves the list once the
+            // residue snaps to exact zero.
+            let mut k = 0usize;
+            while k < self.fatigued_osts.len() {
+                let ost = self.fatigued_osts[k] as usize;
+                if self.ost_occ[ost] as usize >= self.cfg.fatigue_threshold {
+                    self.fatigue[ost] = 1.0 - (1.0 - self.fatigue[ost]) * up;
+                    k += 1;
+                } else {
+                    let f = self.fatigue[ost] * down;
+                    if f < FATIGUE_SNAP {
+                        self.fatigue[ost] = 0.0;
+                        self.fatigued_osts.swap_remove(k);
+                        self.fatigued_pos[ost] = 0;
+                        if let Some(&moved) = self.fatigued_osts.get(k) {
+                            self.fatigued_pos[moved as usize] = k as u32 + 1;
+                        }
+                    } else {
+                        self.fatigue[ost] = f;
+                        k += 1;
+                    }
+                }
+            }
+            // Pass 2: pressured OSTs not yet on the fatigued list start
+            // accumulating. Pressure requires occupancy (threshold ≥ 1
+            // here), so the occupied list covers every candidate.
+            for k in 0..self.occupied_osts.len() {
+                let ost = self.occupied_osts[k] as usize;
+                if self.ost_occ[ost] as usize >= self.cfg.fatigue_threshold
+                    && self.fatigued_pos[ost] == 0
+                {
+                    self.fatigue[ost] = 1.0 - (1.0 - self.fatigue[ost]) * up;
+                    if self.fatigue[ost] > 0.0 {
+                        self.fatigued_pos[ost] = self.fatigued_osts.len() as u32 + 1;
+                        self.fatigued_osts.push(ost as u32);
+                    }
+                }
+            }
+        }
+        #[cfg(debug_assertions)]
+        {
+            for (ost, (&sparse, &dense)) in self.fatigue.iter().zip(&oracle).enumerate() {
+                debug_assert!(
+                    sparse.to_bits() == dense.to_bits()
+                        || (sparse == 0.0 && dense.abs() < FATIGUE_SNAP),
+                    "sparse fatigue diverged from the dense rule for OST {ost}: \
+                     sparse {sparse:e} vs dense {dense:e}"
+                );
+            }
+            self.fatigue_oracle = oracle;
         }
     }
 
@@ -856,6 +1042,33 @@ mod tests {
 
     fn sim(cfg: LustreConfig) -> LustreSim {
         LustreSim::new(cfg, SimRng::from_seed(1234))
+    }
+
+    #[test]
+    fn indexed_noise_is_deterministic_and_active() {
+        // Indexed mode: lazy counter-based draws. Two identical runs must
+        // agree exactly; a different seed must diverge (noise is live);
+        // and the noise factor must actually change across epochs.
+        let mut cfg = LustreConfig::stria();
+        cfg.noise_mode = NoiseMode::Indexed;
+        let run = |seed: u64| {
+            let mut fs = LustreSim::new(cfg.clone(), SimRng::from_seed(seed));
+            // Enough threads that OST capacity (the noisy quantity) binds
+            // rather than the per-stream cap.
+            fs.start_write(SimTime::ZERO, StreamTag(1), 0, 48, gib(400.0));
+            let mut rates = Vec::new();
+            // Step across several 10 s noise epochs.
+            for s in 1..=6 {
+                fs.advance_to(SimTime::from_secs(10 * s));
+                rates.push(fs.total_throughput_bps().to_bits());
+            }
+            rates
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same seed must reproduce exactly");
+        assert_ne!(a, run(8), "different seed must perturb the rates");
+        let distinct: std::collections::BTreeSet<u64> = a.iter().copied().collect();
+        assert!(distinct.len() > 1, "noise must vary across epochs");
     }
 
     #[test]

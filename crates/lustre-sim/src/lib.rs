@@ -31,6 +31,6 @@ pub mod probe;
 pub mod solver;
 pub mod stream;
 
-pub use config::LustreConfig;
+pub use config::{LustreConfig, NoiseMode};
 pub use fs::{FsSnapshot, LustreSim};
 pub use stream::{Direction, StreamId, StreamState, StreamTag};

@@ -113,12 +113,71 @@ impl ResourceProfile {
     /// Earliest `t ≥ from` such that the reserved amount stays at or below
     /// `threshold` throughout `[t, t + dur)`.
     ///
+    /// Single left-to-right sweep over the breakpoints, O(k): walk the
+    /// piecewise-constant segments accumulating usage once, track the
+    /// start of the current run of fitting segments, and return as soon
+    /// as a run covers a full window. The previous implementation probed
+    /// `max_over` (itself O(k)) at every candidate — O(k²) per query,
+    /// which the scale sweep exposed as super-linear in queue depth; it
+    /// survives as [`Self::earliest_at_most_scan`], the debug oracle.
+    ///
     /// Always terminates: after the last breakpoint the profile is
-    /// constant (zero if all reservations have finite ends), so the scan
-    /// ends at the last breakpoint at the latest — if even that fails, the
-    /// profile's tail usage exceeds the threshold forever and
-    /// [`SimTime::FAR_FUTURE`] is returned.
+    /// constant (zero if all reservations have finite ends) — if even the
+    /// tail usage exceeds the threshold, [`SimTime::FAR_FUTURE`] is
+    /// returned.
     pub fn earliest_at_most(&self, from: SimTime, dur: SimDuration, threshold: f64) -> SimTime {
+        let eps = eps_for(self.capacity);
+        let limit = threshold + eps;
+        let dur = dur.max(SimDuration::from_millis(1));
+
+        // Accumulate usage over the breakpoints at or before `from` (the
+        // same left-to-right float accumulation as `usage_at`, so every
+        // comparison sees bit-identical sums to the oracle's).
+        let mut usage = 0.0;
+        let mut i = 0usize;
+        while i < self.deltas.len() && self.deltas[i].0 <= from {
+            usage += self.deltas[i].1;
+            i += 1;
+        }
+
+        // Walk the segments [seg_start, deltas[i].0) with constant
+        // `usage`. `cand` is the earliest potential start: `from`, pushed
+        // to the end of every violating segment encountered.
+        let mut cand = from;
+        let result = loop {
+            let seg_end = self.deltas.get(i).map(|e| e.0);
+            if usage <= limit {
+                // Fits through this whole segment; done if the window
+                // [cand, cand + dur) closes before the segment does.
+                match seg_end {
+                    Some(end) if cand + dur > end => {}
+                    _ => break cand, // covers the window (or tail: fits forever)
+                }
+            } else {
+                match seg_end {
+                    Some(end) => cand = end,
+                    // Tail usage exceeds the threshold forever.
+                    None => break SimTime::FAR_FUTURE,
+                }
+            }
+            usage += self.deltas[i].1;
+            i += 1;
+        };
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            result,
+            self.earliest_at_most_scan(from, dur, threshold),
+            "sweep diverged from the probe-scan oracle (from {from}, dur {dur}, \
+             threshold {threshold})"
+        );
+        result
+    }
+
+    /// The pre-sweep implementation of [`Self::earliest_at_most`]: probe
+    /// `max_over` at `from` and after every breakpoint until a window
+    /// fits. O(k²); kept as the debug-assert oracle for the O(k) sweep.
+    #[cfg(debug_assertions)]
+    fn earliest_at_most_scan(&self, from: SimTime, dur: SimDuration, threshold: f64) -> SimTime {
         let eps = eps_for(self.capacity);
         let fits = |t: SimTime| -> bool {
             self.max_over(t, t + dur.max(SimDuration::from_millis(1))) <= threshold + eps
@@ -128,10 +187,6 @@ impl ResourceProfile {
             if fits(t) {
                 return t;
             }
-            // Jump to the next breakpoint after the *latest violating
-            // instant* would be ideal; jumping to the next breakpoint
-            // after `t` is simpler and still O(breakpoints) overall
-            // because each iteration passes at least one breakpoint.
             let next = self
                 .deltas
                 .get(self.deltas.partition_point(|e| e.0 <= t))

@@ -8,7 +8,8 @@
 use crate::policy::{RunningView, SchedJob};
 use iosched_simkit::ids::JobId;
 use iosched_simkit::time::{SimDuration, SimTime};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Bound::{Excluded, Unbounded};
 
 /// How the wait queue is ordered before the backfill pass (Algorithm 1,
 /// line 2: "Sort waiting jobs").
@@ -54,30 +55,24 @@ struct Entry {
 /// The job table.
 ///
 /// Besides the id-keyed table, the registry maintains incremental
-/// pending/running id lists and a finished counter so the per-pass
+/// pending/running state sets and a finished counter so the per-pass
 /// queries (`wait_queue_ordered`, `running_views`, `all_completed`,
 /// `overrunning`, `next_limit_expiry`) touch only the jobs in the
-/// relevant state instead of scanning the whole table. The lists are
-/// unordered (`swap_remove` on transitions); every consumer sorts by a
-/// total-order key, so results are identical to the old full scans.
+/// relevant state instead of scanning the whole table. Both sets are
+/// ordered: `pending` by `(submit, id)` — the FIFO key — so the default
+/// wait queue needs no sort and `next_submission_after` is a single
+/// `O(log n)` range probe per event-loop iteration instead of an
+/// `O(pending)` scan; `running` by id, the order every running-set
+/// consumer wants. Results are identical to the old full scans.
 #[derive(Clone, Debug, Default)]
 pub struct JobRegistry {
     jobs: BTreeMap<JobId, Entry>,
-    /// Ids currently `Pending`, unordered.
-    pending: Vec<JobId>,
-    /// Ids currently `Running`, unordered.
-    running: Vec<JobId>,
+    /// Ids currently `Pending`, keyed by `(submit, id)` (FIFO order).
+    pending: BTreeSet<(SimTime, JobId)>,
+    /// Ids currently `Running`, in id order.
+    running: BTreeSet<JobId>,
     /// Count of `Completed` + `TimedOut` jobs.
     finished: usize,
-}
-
-/// Drop `id` from an unordered state list.
-fn unlist(list: &mut Vec<JobId>, id: JobId) {
-    let pos = list
-        .iter()
-        .position(|&x| x == id)
-        .unwrap_or_else(|| panic!("{id} missing from state list"));
-    list.swap_remove(pos);
 }
 
 impl JobRegistry {
@@ -92,6 +87,7 @@ impl JobRegistry {
     /// Panics on duplicate submission.
     pub fn submit(&mut self, meta: SchedJob) {
         let id = meta.id;
+        let submit = meta.submit;
         let prev = self.jobs.insert(
             id,
             Entry {
@@ -100,7 +96,7 @@ impl JobRegistry {
             },
         );
         assert!(prev.is_none(), "duplicate submission of {id}");
-        self.pending.push(id);
+        self.pending.insert((submit, id));
     }
 
     /// Number of submitted jobs (any state).
@@ -131,8 +127,12 @@ impl JobRegistry {
             .unwrap_or_else(|| panic!("unknown {id}"));
         assert_eq!(e.state, JobState::Pending, "{id} is not pending");
         e.state = JobState::Running { started: t };
-        unlist(&mut self.pending, id);
-        self.running.push(id);
+        let submit = e.meta.submit;
+        assert!(
+            self.pending.remove(&(submit, id)),
+            "{id} missing from pending set"
+        );
+        self.running.insert(id);
     }
 
     /// Transition a running job to completed at `t`.
@@ -147,7 +147,7 @@ impl JobRegistry {
             }
             other => panic!("{id} is not running (state {other:?})"),
         }
-        unlist(&mut self.running, id);
+        assert!(self.running.remove(&id), "{id} missing from running set");
         self.finished += 1;
     }
 
@@ -163,7 +163,7 @@ impl JobRegistry {
             }
             other => panic!("{id} is not running (state {other:?})"),
         }
-        unlist(&mut self.running, id);
+        assert!(self.running.remove(&id), "{id} missing from running set");
         self.finished += 1;
     }
 
@@ -172,20 +172,26 @@ impl JobRegistry {
         self.wait_queue_ordered(now, PriorityPolicy::Fifo)
     }
 
+    /// Pending ids with `submit <= now` and dependencies met, in FIFO
+    /// (`(submit, id)`) order — the natural order of the pending set, so
+    /// this is a prefix range, not a scan over all pending jobs.
+    fn eligible(&self, now: SimTime) -> impl Iterator<Item = JobId> + '_ {
+        self.pending
+            .range(..=(now, JobId(u64::MAX)))
+            .map(|&(_, id)| id)
+            .filter(move |id| self.dependencies_met(&self.jobs[id].meta))
+    }
+
     /// Pending jobs submitted at or before `now`, ordered by the given
     /// priority policy.
     pub fn wait_queue_ordered(&self, now: SimTime, policy: PriorityPolicy) -> Vec<&SchedJob> {
-        let mut q: Vec<&SchedJob> = self
-            .pending
-            .iter()
-            .map(|id| &self.jobs[id].meta)
-            .filter(|m| m.submit <= now && self.dependencies_met(m))
-            .collect();
-        // Every sort key ends in the unique job id (a total order), so
-        // the unstable sort is deterministic and matches the old stable
-        // sort over the id-ordered table scan.
+        let mut q: Vec<&SchedJob> = self.eligible(now).map(|id| &self.jobs[&id].meta).collect();
+        // FIFO needs no sort: the pending set is already `(submit, id)`
+        // ordered. Every other sort key ends in the unique job id (a
+        // total order), so the unstable sort is deterministic and matches
+        // the old stable sort over the id-ordered table scan.
         match policy {
-            PriorityPolicy::Fifo => q.sort_unstable_by_key(|j| (j.submit, j.id)),
+            PriorityPolicy::Fifo => {}
             PriorityPolicy::Priority => {
                 q.sort_unstable_by_key(|j| (std::cmp::Reverse(j.priority), j.submit, j.id))
             }
@@ -201,18 +207,46 @@ impl JobRegistry {
     /// scheduling pass allocation-free.
     pub fn wait_queue_ids_into(&self, now: SimTime, policy: PriorityPolicy, out: &mut Vec<JobId>) {
         out.clear();
-        out.extend(self.pending.iter().copied().filter(|id| {
-            let m = &self.jobs[id].meta;
-            m.submit <= now && self.dependencies_met(m)
-        }));
+        out.extend(self.eligible(now));
         let meta = |id: &JobId| &self.jobs[id].meta;
         match policy {
-            PriorityPolicy::Fifo => out.sort_unstable_by_key(|id| (meta(id).submit, *id)),
+            PriorityPolicy::Fifo => {} // already (submit, id)-ordered
             PriorityPolicy::Priority => out.sort_unstable_by_key(|id| {
                 (std::cmp::Reverse(meta(id).priority), meta(id).submit, *id)
             }),
             PriorityPolicy::ShortestLimitFirst => {
                 out.sort_unstable_by_key(|id| (meta(id).limit, meta(id).submit, *id))
+            }
+        }
+    }
+
+    /// [`Self::wait_queue_ids_into`] truncated to the first `limit` jobs,
+    /// into a caller-owned buffer (cleared first).
+    ///
+    /// Equivalent to the full query followed by `truncate(limit)`, but
+    /// FIFO — whose order is the pending set's native `(submit, id)`
+    /// order — stops scanning after `limit` eligible jobs instead of
+    /// walking the whole backlog. The scheduling pass examines at most
+    /// `max_queue_depth` jobs, so with a deep queue (streaming replay
+    /// with a full admission window) the discarded tail of the full scan
+    /// was the dominant per-pass cost at scale. Non-FIFO policies must
+    /// rank the whole eligible set before truncating and keep the full
+    /// scan.
+    pub fn wait_queue_ids_limited_into(
+        &self,
+        now: SimTime,
+        policy: PriorityPolicy,
+        limit: usize,
+        out: &mut Vec<JobId>,
+    ) {
+        match policy {
+            PriorityPolicy::Fifo => {
+                out.clear();
+                out.extend(self.eligible(now).take(limit));
+            }
+            _ => {
+                self.wait_queue_ids_into(now, policy, out);
+                out.truncate(limit);
             }
         }
     }
@@ -231,8 +265,8 @@ impl JobRegistry {
 
     /// Views of the currently running jobs, in id order.
     pub fn running_views(&self) -> Vec<RunningView<'_>> {
-        let mut v: Vec<RunningView<'_>> = self
-            .running
+        // The running set iterates in id order already — no sort needed.
+        self.running
             .iter()
             .map(|id| {
                 let e = &self.jobs[id];
@@ -244,9 +278,7 @@ impl JobRegistry {
                     started,
                 }
             })
-            .collect();
-        v.sort_unstable_by_key(|rv| rv.job.id);
-        v
+            .collect()
     }
 
     /// Running `(id, started)` pairs in id order, into a caller-owned
@@ -259,22 +291,50 @@ impl JobRegistry {
             };
             (*id, started)
         }));
-        out.sort_unstable_by_key(|&(id, _)| id);
     }
 
     /// Earliest future submission strictly after `now` (for event-driven
     /// drivers with staggered arrivals).
+    ///
+    /// A single range probe into the `(submit, id)`-ordered pending set:
+    /// the first entry strictly past `(now, JobId::MAX)` is the earliest
+    /// pending submission with `submit > now`. Event-driven drivers call
+    /// this every loop iteration, so it must not scan.
     pub fn next_submission_after(&self, now: SimTime) -> Option<SimTime> {
         self.pending
-            .iter()
-            .map(|id| self.jobs[id].meta.submit)
-            .filter(|&s| s > now)
-            .min()
+            .range((Excluded((now, JobId(u64::MAX))), Unbounded))
+            .next()
+            .map(|&(submit, _)| submit)
     }
 
     /// True when every job has finished (completed or timed out).
     pub fn all_completed(&self) -> bool {
         self.finished == self.jobs.len()
+    }
+
+    /// Remove a finished job's entry entirely, returning its final state.
+    ///
+    /// Streaming replay evicts jobs as they finish so the table stays
+    /// bounded by the admission window instead of growing with the trace.
+    /// Only `Completed`/`TimedOut` jobs may be retired — a retired id is
+    /// gone without a trace, so a dependency on it would dangle forever
+    /// (streaming drivers must reject workloads with dependencies).
+    ///
+    /// # Panics
+    /// Panics if the job is unknown or not finished.
+    pub fn retire(&mut self, id: JobId) -> JobState {
+        let e = self.jobs.get(&id).unwrap_or_else(|| panic!("unknown {id}"));
+        assert!(
+            matches!(
+                e.state,
+                JobState::Completed { .. } | JobState::TimedOut { .. }
+            ),
+            "{id} is not finished (state {:?})",
+            e.state
+        );
+        let e = self.jobs.remove(&id).expect("checked above");
+        self.finished -= 1;
+        e.state
     }
 
     /// Completion time of the last job — the workload *makespan* — if all
@@ -317,8 +377,8 @@ impl JobRegistry {
     /// Running jobs whose limit expires at or before `t`, with their
     /// start times (candidates for limit enforcement), in id order.
     pub fn overrunning(&self, t: SimTime) -> Vec<(JobId, SimTime)> {
-        let mut v: Vec<(JobId, SimTime)> = self
-            .running
+        // Id-ordered because the running set is.
+        self.running
             .iter()
             .filter_map(|id| {
                 let e = &self.jobs[id];
@@ -329,9 +389,7 @@ impl JobRegistry {
                     _ => None,
                 }
             })
-            .collect();
-        v.sort_unstable_by_key(|&(id, _)| id);
-        v
+            .collect()
     }
 
     /// Earliest future limit expiry among running jobs.
@@ -520,6 +578,39 @@ mod tests {
     }
 
     #[test]
+    fn retire_evicts_finished_jobs_and_keeps_counters_consistent() {
+        let mut reg = JobRegistry::new();
+        reg.submit(job(1, 0));
+        reg.submit(job(2, 0));
+        reg.mark_started(JobId(1), SimTime::from_secs(5));
+        reg.mark_completed(JobId(1), SimTime::from_secs(15));
+        assert_eq!(reg.len(), 2);
+        let state = reg.retire(JobId(1));
+        assert!(matches!(state, JobState::Completed { .. }));
+        assert_eq!(reg.len(), 1);
+        assert!(reg.meta(JobId(1)).is_none());
+        // The remaining pending job keeps the registry un-completed.
+        assert!(!reg.all_completed());
+        reg.mark_started(JobId(2), SimTime::from_secs(20));
+        reg.mark_timed_out(JobId(2), SimTime::from_secs(120));
+        assert!(reg.all_completed());
+        reg.retire(JobId(2));
+        // Fully drained: empty registry counts as all-completed.
+        assert!(reg.is_empty());
+        assert!(reg.all_completed());
+        assert_eq!(reg.timings().len(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn retiring_a_running_job_panics() {
+        let mut reg = JobRegistry::new();
+        reg.submit(job(1, 0));
+        reg.mark_started(JobId(1), SimTime::ZERO);
+        reg.retire(JobId(1));
+    }
+
+    #[test]
     #[should_panic]
     fn timing_out_a_pending_job_panics() {
         let mut reg = JobRegistry::new();
@@ -554,6 +645,7 @@ mod tests {
             submits in prop::vec(0u64..20, 1..20),
             ops in prop::vec((0u64..3, 0u64..32), 0..48),
             probe in 0u64..40,
+            limit in 0u64..6,
         ) {
             let mut reg = JobRegistry::new();
             for (i, &s) in submits.iter().enumerate() {
@@ -592,6 +684,20 @@ mod tests {
             let mut buf = Vec::new();
             reg.wait_queue_ids_into(now, PriorityPolicy::Fifo, &mut buf);
             prop_assert_eq!(&buf, &expect);
+
+            // Depth-limited query == full query truncated, every policy.
+            for &policy in &[
+                PriorityPolicy::Fifo,
+                PriorityPolicy::Priority,
+                PriorityPolicy::ShortestLimitFirst,
+            ] {
+                let mut full = Vec::new();
+                reg.wait_queue_ids_into(now, policy, &mut full);
+                full.truncate(limit as usize);
+                let mut limited = Vec::new();
+                reg.wait_queue_ids_limited_into(now, policy, limit as usize, &mut limited);
+                prop_assert_eq!(&limited, &full);
+            }
 
             // Running set (both APIs), id-ordered.
             let expect_running: Vec<JobId> = all()

@@ -16,8 +16,10 @@ pub mod arrivals;
 pub mod builder;
 pub mod paper;
 pub mod swf;
+pub mod synth;
 
 pub use arrivals::{bursty_arrivals, poisson_arrivals, uniform_arrivals};
 pub use builder::{JobSubmission, WorkloadBuilder};
 pub use paper::{sleep_job, workload_1, workload_2, write_xn_job, PaperParams};
-pub use swf::{parse_swf, SwfError, SwfOptions};
+pub use swf::{parse_swf, SwfError, SwfOptions, SwfRecord};
+pub use synth::{to_swf_text, SynthConfig, SynthTrace};

@@ -58,6 +58,83 @@ impl Default for SwfOptions {
     }
 }
 
+/// The scheduling-relevant integer fields of one SWF record, exactly as
+/// they appear on a trace line. [`parse_swf`] extracts one per line;
+/// the synthetic generator ([`crate::synth`]) emits them directly, so
+/// generated workloads and parsed traces share one conversion path
+/// ([`SwfRecord::to_submission`]) and round-trip through
+/// [`SwfRecord::to_line`] by construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SwfRecord {
+    /// Field 1: job number (the id).
+    pub job_no: i64,
+    /// Field 2: submit time, seconds.
+    pub submit: i64,
+    /// Field 4: run time, seconds (negative marks a cancelled job).
+    pub run_time: i64,
+    /// Field 5: allocated processors (0 marks a cancelled job).
+    pub procs: i64,
+    /// Field 9: requested time, seconds (−1 when absent).
+    pub requested: i64,
+}
+
+impl SwfRecord {
+    /// True when the record describes a job that actually ran (SWF marks
+    /// cancelled jobs with negative run times or zero processors).
+    pub fn is_valid(&self) -> bool {
+        self.run_time >= 0 && self.procs > 0 && self.submit >= 0
+    }
+
+    /// Render the record as a full 18-field SWF line (fields this model
+    /// does not carry are `-1`, per the SWF convention for "not given").
+    pub fn to_line(&self) -> String {
+        format!(
+            "{} {} -1 {} {} -1 -1 {} {} -1 -1 1 1 1 1 -1 -1 -1",
+            self.job_no, self.submit, self.run_time, self.procs, self.procs, self.requested
+        )
+    }
+
+    /// Convert to a [`JobSubmission`] under `opts`. Returns `None` for
+    /// invalid (cancelled) records — the caller decides whether that is a
+    /// skip or an error.
+    pub fn to_submission(&self, opts: &SwfOptions) -> Option<JobSubmission> {
+        if !self.is_valid() {
+            return None;
+        }
+        let procs = self.procs;
+        let nodes = ((procs as usize).div_ceil(opts.cpus_per_node)).clamp(1, opts.max_nodes);
+        let run_secs = self.run_time as u64;
+        let limit_secs = if self.requested > 0 {
+            (self.requested as u64).max(run_secs)
+        } else {
+            run_secs.max(1)
+        };
+
+        let io_secs = (run_secs as f64 * opts.io_fraction).round() as u64;
+        let compute_secs = run_secs - io_secs.min(run_secs);
+        let mut phases = Vec::new();
+        if compute_secs > 0 || io_secs == 0 {
+            phases.push(Phase::Compute(SimDuration::from_secs(compute_secs.max(1))));
+        }
+        if io_secs > 0 && opts.io_rate_per_node_bps > 0.0 {
+            phases.push(Phase::Write {
+                threads_per_node: 1,
+                bytes_per_thread: opts.io_rate_per_node_bps * io_secs as f64,
+            });
+        }
+
+        Some(JobSubmission {
+            id: JobId(self.job_no as u64),
+            name: format!("swf_p{procs}"),
+            exec: ExecSpec { nodes, phases },
+            limit: SimDuration::from_secs(limit_secs),
+            submit: SimTime::from_secs(self.submit as u64),
+            priority: 0,
+            after: Vec::new(),
+        })
+    }
+}
+
 /// A parse failure with its line number (1-based).
 #[derive(Debug, PartialEq, Eq)]
 pub struct SwfError {
@@ -105,55 +182,26 @@ pub fn parse_swf(text: &str, opts: &SwfOptions) -> Result<Vec<JobSubmission>, Sw
                     message: format!("field {} is not an integer", i + 1),
                 })
         };
-        let job_no = parse_i64(0)?;
-        let submit = parse_i64(1)?;
-        let run_time = parse_i64(3)?;
-        let procs = parse_i64(4)?;
-        let requested = fields
-            .get(8)
-            .and_then(|s| s.parse::<i64>().ok())
-            .unwrap_or(-1);
-
-        if run_time < 0 || procs <= 0 || submit < 0 {
-            if opts.skip_invalid {
-                continue;
-            }
-            return Err(SwfError {
-                line: line_no,
-                message: "negative run time / non-positive processors".into(),
-            });
-        }
-
-        let nodes = ((procs as usize).div_ceil(opts.cpus_per_node)).clamp(1, opts.max_nodes);
-        let run_secs = run_time as u64;
-        let limit_secs = if requested > 0 {
-            (requested as u64).max(run_secs)
-        } else {
-            run_secs.max(1)
+        let record = SwfRecord {
+            job_no: parse_i64(0)?,
+            submit: parse_i64(1)?,
+            run_time: parse_i64(3)?,
+            procs: parse_i64(4)?,
+            requested: fields
+                .get(8)
+                .and_then(|s| s.parse::<i64>().ok())
+                .unwrap_or(-1),
         };
-
-        let io_secs = (run_secs as f64 * opts.io_fraction).round() as u64;
-        let compute_secs = run_secs - io_secs.min(run_secs);
-        let mut phases = Vec::new();
-        if compute_secs > 0 || io_secs == 0 {
-            phases.push(Phase::Compute(SimDuration::from_secs(compute_secs.max(1))));
+        match record.to_submission(opts) {
+            Some(job) => jobs.push(job),
+            None if opts.skip_invalid => continue,
+            None => {
+                return Err(SwfError {
+                    line: line_no,
+                    message: "negative run time / non-positive processors".into(),
+                })
+            }
         }
-        if io_secs > 0 && opts.io_rate_per_node_bps > 0.0 {
-            phases.push(Phase::Write {
-                threads_per_node: 1,
-                bytes_per_thread: opts.io_rate_per_node_bps * io_secs as f64,
-            });
-        }
-
-        jobs.push(JobSubmission {
-            id: JobId(job_no as u64),
-            name: format!("swf_p{procs}"),
-            exec: ExecSpec { nodes, phases },
-            limit: SimDuration::from_secs(limit_secs),
-            submit: SimTime::from_secs(submit as u64),
-            priority: 0,
-            after: Vec::new(),
-        });
     }
     Ok(jobs)
 }
@@ -239,5 +287,100 @@ mod tests {
         let jobs = parse_swf(text, &SwfOptions::default()).unwrap();
         assert_eq!(jobs.len(), 1);
         jobs[0].exec.validate().unwrap();
+    }
+
+    #[test]
+    fn comment_only_and_whitespace_inputs_parse_empty() {
+        for text in ["", "\n\n", "; header only\n;more\n", "   \n\t\n"] {
+            assert_eq!(parse_swf(text, &SwfOptions::default()).unwrap().len(), 0);
+        }
+        // Indented comments and trailing whitespace are tolerated.
+        let jobs = parse_swf(
+            "  ; indented comment\n  1 0 0 10 1 -1 -1 1 20 -1 1 1 1 1 1 -1 -1 -1  \n",
+            &SwfOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(jobs.len(), 1);
+    }
+
+    #[test]
+    fn negative_submit_is_invalid() {
+        let text = "1 -5 0 10 1 -1 -1 1 20 -1 1 1 1 1 1 -1 -1 -1";
+        assert!(parse_swf(text, &SwfOptions::default()).unwrap().is_empty());
+        let opts = SwfOptions {
+            skip_invalid: false,
+            ..SwfOptions::default()
+        };
+        assert_eq!(parse_swf(text, &opts).unwrap_err().line, 1);
+    }
+
+    #[test]
+    fn requested_time_below_run_time_is_raised_to_run_time() {
+        // Requested 5 s but ran 50 s: the limit must cover the run.
+        let text = "1 0 0 50 1 -1 -1 1 5 -1 1 1 1 1 1 -1 -1 -1";
+        let jobs = parse_swf(text, &SwfOptions::default()).unwrap();
+        assert_eq!(jobs[0].limit, SimDuration::from_secs(50));
+    }
+
+    #[test]
+    fn full_io_fraction_yields_pure_write_job() {
+        let opts = SwfOptions {
+            io_fraction: 1.0,
+            io_rate_per_node_bps: gibps(1.0),
+            ..SwfOptions::default()
+        };
+        let jobs = parse_swf("1 0 0 100 2 -1 -1 2 200 -1 1 1 1 1 1 -1 -1 -1", &opts).unwrap();
+        let spec = &jobs[0].exec;
+        assert_eq!(spec.phases.len(), 1);
+        assert!(matches!(spec.phases[0], Phase::Write { .. }));
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn io_fraction_without_rate_stays_pure_compute() {
+        let opts = SwfOptions {
+            io_fraction: 0.5,
+            io_rate_per_node_bps: 0.0,
+            ..SwfOptions::default()
+        };
+        let jobs = parse_swf("1 0 0 100 2 -1 -1 2 200 -1 1 1 1 1 1 -1 -1 -1", &opts).unwrap();
+        assert_eq!(jobs[0].exec.phases.len(), 1);
+        assert!(matches!(jobs[0].exec.phases[0], Phase::Compute(_)));
+    }
+
+    #[test]
+    fn record_round_trips_through_its_own_line() {
+        let rec = SwfRecord {
+            job_no: 42,
+            submit: 17,
+            run_time: 300,
+            procs: 8,
+            requested: 600,
+        };
+        let jobs = parse_swf(&rec.to_line(), &SwfOptions::default()).unwrap();
+        let opts = SwfOptions::default();
+        let direct = rec.to_submission(&opts).unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].id, direct.id);
+        assert_eq!(jobs[0].name, direct.name);
+        assert_eq!(jobs[0].submit, direct.submit);
+        assert_eq!(jobs[0].limit, direct.limit);
+        assert_eq!(jobs[0].exec.nodes, direct.exec.nodes);
+    }
+
+    #[test]
+    fn invalid_records_render_and_are_skipped() {
+        let cancelled = SwfRecord {
+            job_no: 9,
+            submit: 0,
+            run_time: -1,
+            procs: 4,
+            requested: -1,
+        };
+        assert!(!cancelled.is_valid());
+        assert!(cancelled.to_submission(&SwfOptions::default()).is_none());
+        assert!(parse_swf(&cancelled.to_line(), &SwfOptions::default())
+            .unwrap()
+            .is_empty());
     }
 }

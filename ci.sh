@@ -134,10 +134,10 @@ cargo bench --offline -p iosched-bench --bench fig6_campaign
 bench_diff --gate 2.0 "$BASELINE_DIR/BENCH_fig6_campaign.json" results/bench/BENCH_fig6_campaign.json
 
 step "bench smoke (emits results/bench/BENCH_*.json)"
-for suite in fig3_workload1 fig4_throughput fig5_workload2 fig6_campaign scale; do
+for suite in fig3_workload1 fig4_throughput fig5_workload2 fig6_campaign scale campaign; do
     cargo bench --offline -p iosched-bench --bench "$suite" -- --smoke
 done
-for suite in micro fig3_workload1 fig4_throughput fig5_workload2 fig6_campaign scale; do
+for suite in micro fig3_workload1 fig4_throughput fig5_workload2 fig6_campaign scale campaign; do
     test -s "results/bench/BENCH_${suite}.json" || {
         echo "missing bench output BENCH_${suite}.json" >&2
         exit 1
@@ -153,6 +153,15 @@ step "bench gate: scale smoke event counters match the committed baseline"
 bench_diff --gate 2.0 --counters-only \
     "$BASELINE_DIR/BENCH_scale_smoke.json" results/bench/BENCH_scale.json
 
+step "bench gate: campaign smoke task/event counters match the committed baseline"
+# The campaign engine's smoke grid (4 tasks) proves merged records are
+# bit-identical across worker counts and emits deterministic task/event
+# totals; any drift is an engine or scheduler change. Refresh with
+# 'cargo bench -p iosched-bench --bench campaign -- --smoke' + cp to
+# BENCH_campaign_smoke.json when intended.
+bench_diff --gate 2.0 --counters-only \
+    "$BASELINE_DIR/BENCH_campaign_smoke.json" results/bench/BENCH_campaign.json
+
 if [[ $FULL_SCALE -eq 1 ]]; then
     step "bench gate (--full-scale): full scale sweep within 2x of baseline"
     # The full sweep: strong-scaling trio (same trace, 1x/10x/100x
@@ -163,6 +172,16 @@ if [[ $FULL_SCALE -eq 1 ]]; then
     # -p iosched-bench --bench scale'.
     cargo bench --offline -p iosched-bench --bench scale
     bench_diff --gate 2.0 "$BASELINE_DIR/BENCH_scale.json" results/bench/BENCH_scale.json
+
+    step "bench gate (--full-scale): campaign scaling sweep and 4-worker speedup"
+    # Full campaign sweep at 1/2/4/8 workers. The binary itself asserts
+    # >= 2.5x speedup at 4 workers under --gate-speedup (skipped loudly
+    # on machines with < 4 cores); bench_diff then gates the
+    # deterministic task/event counters against the committed baseline.
+    # Refresh with 'cargo bench -p iosched-bench --bench campaign'.
+    cargo bench --offline -p iosched-bench --bench campaign -- --gate-speedup
+    bench_diff --gate 2.0 --counters-only \
+        "$BASELINE_DIR/BENCH_campaign.json" results/bench/BENCH_campaign.json
 fi
 
 echo

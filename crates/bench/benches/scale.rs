@@ -27,6 +27,7 @@
 //! baseline `results/bench/BENCH_scale.json`.
 
 use iosched_experiments::driver::{ExperimentConfig, SchedulerKind};
+use iosched_experiments::pool;
 use iosched_experiments::streaming::{run_streaming, StreamingOptions, StreamingResult};
 use iosched_simkit::bench::BenchSuite;
 use iosched_simkit::units::gibps;
@@ -103,13 +104,32 @@ fn main() {
         black_box(replay(SchedulerKind::DefaultBackfill, 1, 1_000, Load::Testbed).loop_iterations);
     });
 
+    // The sweep's points fan out over the campaign pool (worker count
+    // from `CAMPAIGN_THREADS` / `available_parallelism`; results merge
+    // in plan order regardless of completion order). The gated
+    // `events/…` counters are deterministic loop-iteration counts, so
+    // they are worker-count-independent; the wall-clock metas are
+    // measured per point inside its task and are co-scheduled when the
+    // pool runs points concurrently — pin `CAMPAIGN_THREADS=1` for
+    // clean sequential timings.
+    let threads = pool::configured_threads(None).min(plan.len());
+    let points = pool::run_all(
+        &plan,
+        threads,
+        || (),
+        |(), _idx, &(kind, factor, jobs, load)| {
+            let suffix = if load == Load::Matched { "_load" } else { "" };
+            let label = format!("{}_x{factor}{suffix}", kind.label());
+            let start = std::time::Instant::now();
+            let res = replay(kind, factor, jobs, load);
+            let elapsed = start.elapsed().as_secs_f64();
+            (label, res, elapsed)
+        },
+        |_, _| {},
+    );
+
     let mut events_per_sec: Vec<(String, f64)> = Vec::new();
-    for (kind, factor, jobs, load) in plan {
-        let suffix = if load == Load::Matched { "_load" } else { "" };
-        let label = format!("{}_x{factor}{suffix}", kind.label());
-        let start = std::time::Instant::now();
-        let res = replay(kind, factor, jobs, load);
-        let elapsed = start.elapsed().as_secs_f64();
+    for (label, res, elapsed) in points {
         assert!(res.jobs_completed > 0, "{label}: no jobs completed");
         let events = res.loop_iterations as f64;
         let per_job = events / res.jobs_completed as f64;

@@ -7,69 +7,72 @@
 //! io-aware-20 ≈ 4 %, io-aware-15 ≈ 7 %, adaptive-20 ≈ 12 %,
 //! adaptive-15 ≈ io-aware-15 + 3 %.
 //!
+//! Runs as one campaign grid (policy × threshold × seed on Workload 2)
+//! on the engine, resumable through `results/fig6/records.jsonl`: a
+//! rerun replays finished tasks from the log and only executes missing
+//! ones, and `summary` reuses the same log instead of re-running Fig. 6.
+//!
 //! Usage: `cargo run --release -p iosched-experiments --bin fig6 [n_seeds]`
 //! (default 5 seeds per configuration; the paper repeats each
 //! configuration a comparable number of times).
 
-use iosched_experiments::campaign::run_campaign;
-use iosched_experiments::driver::{ExperimentConfig, SchedulerKind};
 use iosched_experiments::figures::write_output;
-use iosched_simkit::units::gibps;
-use iosched_workloads::{workload_2, PaperParams};
+use iosched_experiments::{
+    run_grid_resumable, CampaignGrid, CampaignOptions, PolicyFamily, WorkloadSpec,
+};
+use iosched_simkit::stats::median;
 use std::fmt::Write as _;
 use std::path::PathBuf;
+
+/// The Fig. 6 grid: [default, io-aware-20, io-aware-15, adaptive-20,
+/// adaptive-15] × seeds on Workload 2 (shared with `summary`).
+pub fn fig6_grid(n_seeds: usize) -> CampaignGrid {
+    CampaignGrid::new(
+        vec![
+            PolicyFamily::Default,
+            PolicyFamily::IoAware,
+            PolicyFamily::Adaptive,
+        ],
+        vec![20.0, 15.0],
+        (0..n_seeds as u64).map(|i| 1000 + i * 17).collect(),
+        WorkloadSpec::Workload2,
+    )
+}
 
 fn main() {
     let n_seeds: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(5);
-    let seeds: Vec<u64> = (0..n_seeds as u64).map(|i| 1000 + i * 17).collect();
-    let workload = workload_2(&PaperParams::default());
-
-    let configs = vec![
-        SchedulerKind::DefaultBackfill,
-        SchedulerKind::IoAware {
-            limit_bps: gibps(20.0),
-        },
-        SchedulerKind::IoAware {
-            limit_bps: gibps(15.0),
-        },
-        SchedulerKind::Adaptive {
-            limit_bps: gibps(20.0),
-            two_group: true,
-        },
-        SchedulerKind::Adaptive {
-            limit_bps: gibps(15.0),
-            two_group: true,
-        },
-    ];
+    let grid = fig6_grid(n_seeds);
 
     println!(
         "Fig. 6 — Workload 2 makespan swarm, {} seeds per configuration\n",
-        seeds.len()
+        n_seeds
     );
+    let records = run_grid_resumable(
+        &grid,
+        CampaignOptions::default(),
+        &PathBuf::from("results/fig6/records.jsonl"),
+    )
+    .expect("write record log");
+
     let mut csv = String::from("scheduler,seed,makespan_s\n");
     let mut medians = Vec::new();
-    for kind in configs {
-        let cfg = ExperimentConfig::paper(kind, 0);
-        let camp = run_campaign(&cfg, &workload, &seeds);
-        for (i, &m) in camp.makespans_secs.iter().enumerate() {
-            writeln!(csv, "{},{},{:.0}", camp.label, seeds[i], m).expect("write");
+    for group in records.chunks(n_seeds) {
+        let makespans: Vec<f64> = group.iter().map(|r| r.makespan_secs).collect();
+        for rec in group {
+            writeln!(csv, "{},{},{:.0}", rec.label, rec.seed, rec.makespan_secs).expect("write");
         }
-        let med = camp.median_makespan_secs();
-        let points: Vec<String> = camp
-            .makespans_secs
-            .iter()
-            .map(|m| format!("{m:.0}"))
-            .collect();
+        let med = median(&makespans).expect("non-empty group");
+        let points: Vec<String> = makespans.iter().map(|m| format!("{m:.0}")).collect();
         println!(
             "{:<16} median {:>7.0} s   swarm: {}",
-            camp.label,
+            group[0].label,
             med,
             points.join(" ")
         );
-        medians.push((camp.label.clone(), med));
+        medians.push((group[0].label.clone(), med));
     }
 
     let base = medians[0].1;
@@ -80,5 +83,5 @@ fn main() {
     println!("\npaper reference: io-aware-20 ~4%, io-aware-15 ~7%, adaptive-20 ~12%, adaptive-15 ~ io-aware-15 + 3%");
 
     write_output(&PathBuf::from("results/fig6/swarm.csv"), &csv).expect("write");
-    println!("CSV data in results/fig6");
+    println!("CSV data in results/fig6 (records in results/fig6/records.jsonl)");
 }

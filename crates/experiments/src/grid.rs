@@ -1,0 +1,548 @@
+//! Declarative campaign grids.
+//!
+//! A [`CampaignGrid`] names the four axes a campaign sweeps — **policy ×
+//! threshold × seed × workload** — plus the shared base configuration,
+//! and is JSON round-trippable via `simkit::json`, so the same spec that
+//! a figure binary builds in code can arrive on `campaignd`'s stdin.
+//!
+//! The grid is *declarative*: [`CampaignGrid::tasks`] expands the axes
+//! into a flat, deterministically ordered task list (workload-major,
+//! then policy × threshold in declaration order, seeds innermost), and
+//! every task carries its **index** in that order. The index is the
+//! merge key for the whole engine — results are reassembled in task
+//! order no matter which worker finished what — and the resume key for
+//! incremental output (a record log names the indices already done).
+
+use crate::driver::{ExperimentConfig, SchedulerKind};
+use iosched_cluster::ExecSpec;
+use iosched_simkit::time::SimDuration;
+use iosched_simkit::units::{gib, gibps};
+use iosched_workloads::{
+    workload_1, workload_2, JobSubmission, PaperParams, SwfOptions, SynthConfig, SynthTrace,
+    WorkloadBuilder,
+};
+
+/// A scheduler policy family — the grid's first axis. Families that take
+/// a throughput threshold (everything but `Default`) are crossed with
+/// the grid's `thresholds_gibps` axis; `Default` ignores it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyFamily {
+    /// Stock Slurm backfill (nodes only); threshold-free.
+    Default,
+    /// Fixed-limit I/O-aware scheduling.
+    IoAware,
+    /// Workload-adaptive two-group scheduling.
+    Adaptive,
+    /// The naïve single-group adaptive ablation.
+    AdaptiveNaive,
+    /// Dot-product vector packing (§VIII comparator).
+    Packing,
+}
+iosched_simkit::impl_json_enum!(PolicyFamily {
+    Default,
+    IoAware,
+    Adaptive,
+    AdaptiveNaive,
+    Packing,
+});
+
+impl PolicyFamily {
+    /// Whether this family consumes the threshold axis.
+    pub fn takes_threshold(&self) -> bool {
+        !matches!(self, PolicyFamily::Default)
+    }
+
+    /// The concrete scheduler for one threshold (ignored by `Default`).
+    pub fn scheduler(&self, limit_gibps: f64) -> SchedulerKind {
+        let limit_bps = gibps(limit_gibps);
+        match self {
+            PolicyFamily::Default => SchedulerKind::DefaultBackfill,
+            PolicyFamily::IoAware => SchedulerKind::IoAware { limit_bps },
+            PolicyFamily::Adaptive => SchedulerKind::Adaptive {
+                limit_bps,
+                two_group: true,
+            },
+            PolicyFamily::AdaptiveNaive => SchedulerKind::Adaptive {
+                limit_bps,
+                two_group: false,
+            },
+            PolicyFamily::Packing => SchedulerKind::Packing { limit_bps },
+        }
+    }
+}
+
+/// A workload named by generator parameters rather than by value, so a
+/// grid spec stays small and serializable; [`WorkloadSpec::materialize`]
+/// builds the actual submission list (once per campaign, shared across
+/// every task that references it).
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkloadSpec {
+    /// The paper's Workload 1 (720 jobs, Fig. 3).
+    Workload1,
+    /// The paper's Workload 2 (1550 jobs, Figs. 5–6).
+    Workload2,
+    /// One scaled Workload-2-shaped wave (the bench workload): write×8 /
+    /// ×6 / ×2 / ×1 batches plus sleeps, all writing `volume_gib`.
+    Wave {
+        x8: u64,
+        x6: u64,
+        x2: u64,
+        x1: u64,
+        sleeps: u64,
+        volume_gib: f64,
+    },
+    /// Deterministic SWF-shaped synthetic trace
+    /// (`iosched_workloads::synth`).
+    Synth {
+        jobs: u64,
+        seed: u64,
+        max_procs: usize,
+        mean_interarrival_secs: f64,
+        median_run_secs: f64,
+        io_fraction: f64,
+    },
+}
+iosched_simkit::impl_json_enum!(WorkloadSpec {
+    Workload1,
+    Workload2,
+    Wave { x8, x6, x2, x1, sleeps, volume_gib },
+    Synth {
+        jobs,
+        seed,
+        max_procs,
+        mean_interarrival_secs,
+        median_run_secs,
+        io_fraction
+    },
+});
+
+impl WorkloadSpec {
+    /// Build the submission list this spec names.
+    pub fn materialize(&self) -> Vec<JobSubmission> {
+        match self {
+            WorkloadSpec::Workload1 => workload_1(&PaperParams::default()),
+            WorkloadSpec::Workload2 => workload_2(&PaperParams::default()),
+            WorkloadSpec::Wave {
+                x8,
+                x6,
+                x2,
+                x1,
+                sleeps,
+                volume_gib,
+            } => {
+                let limit = SimDuration::from_secs(3600);
+                let vol = gib(*volume_gib);
+                WorkloadBuilder::new()
+                    .batch(*x8 as usize, "write_x8", ExecSpec::write_xn(8, vol), limit)
+                    .batch(*x6 as usize, "write_x6", ExecSpec::write_xn(6, vol), limit)
+                    .batch(*x2 as usize, "write_x2", ExecSpec::write_xn(2, vol), limit)
+                    .batch(*x1 as usize, "write_x1", ExecSpec::write_xn(1, vol), limit)
+                    .batch(
+                        *sleeps as usize,
+                        "sleep",
+                        ExecSpec::sleep(SimDuration::from_secs(300)),
+                        SimDuration::from_secs(400),
+                    )
+                    .build()
+            }
+            WorkloadSpec::Synth {
+                jobs,
+                seed,
+                max_procs,
+                mean_interarrival_secs,
+                median_run_secs,
+                io_fraction,
+            } => {
+                let cfg = SynthConfig {
+                    jobs: *jobs,
+                    seed: *seed,
+                    max_procs: *max_procs,
+                    mean_interarrival_secs: *mean_interarrival_secs,
+                    median_run_secs: *median_run_secs,
+                    ..SynthConfig::default()
+                };
+                SynthTrace::new(cfg)
+                    .submissions(SwfOptions {
+                        io_fraction: *io_fraction,
+                        io_rate_per_node_bps: gibps(0.2),
+                        ..SwfOptions::default()
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Shared base configuration applied to every task of a grid. Zero means
+/// "paper default" for the numeric knobs, so a JSON spec only states
+/// what it changes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GridBase {
+    /// Compute nodes; 0 = the paper testbed scaled by `machine_scale`.
+    pub nodes: usize,
+    /// Machine growth factor (nodes × OSTs), ≥ 1.
+    pub machine_scale: usize,
+    /// Pre-train the estimator (the paper's default).
+    pub pretrained: bool,
+    /// Disable per-OST bandwidth noise (tests/benches).
+    pub noiseless: bool,
+    /// Backfill interval override in seconds; 0 = paper default (30 s).
+    pub sched_period_secs: u64,
+}
+iosched_simkit::impl_json_struct!(GridBase {
+    nodes,
+    machine_scale,
+    pretrained,
+    noiseless,
+    sched_period_secs,
+});
+
+impl Default for GridBase {
+    fn default() -> Self {
+        GridBase {
+            nodes: 0,
+            machine_scale: 1,
+            pretrained: true,
+            noiseless: false,
+            sched_period_secs: 0,
+        }
+    }
+}
+
+/// The declarative campaign spec: four axes plus the base configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignGrid {
+    /// Policy axis, in output order.
+    pub policies: Vec<PolicyFamily>,
+    /// Threshold axis in GiB/s, crossed with every threshold-taking
+    /// family (declaration order preserved).
+    pub thresholds_gibps: Vec<f64>,
+    /// Seed axis (innermost; a scheduler's seeds are contiguous tasks).
+    pub seeds: Vec<u64>,
+    /// Workload axis (outermost).
+    pub workloads: Vec<WorkloadSpec>,
+    /// Shared run configuration.
+    pub base: GridBase,
+}
+iosched_simkit::impl_json_struct!(CampaignGrid {
+    policies,
+    thresholds_gibps,
+    seeds,
+    workloads,
+    base,
+});
+
+/// One finished task's summary — the record `campaignd` streams per
+/// completion and the resume log stores one-per-line. `index` matches
+/// [`GridTask::index`], so a log replays into the merged result vector
+/// without re-running anything.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignRecord {
+    /// Task index in [`CampaignGrid::tasks`] order (merge/resume key).
+    pub index: usize,
+    /// Human-readable scheduler label (e.g. `adaptive-20`).
+    pub label: String,
+    pub scheduler: SchedulerKind,
+    pub seed: u64,
+    /// Position on the grid's workload axis.
+    pub workload: usize,
+    pub makespan_secs: f64,
+    pub mean_wait_secs: f64,
+    pub max_wait_secs: f64,
+    /// Jobs that completed within the simulation.
+    pub jobs: u64,
+    pub sched_passes: u64,
+    pub loop_iterations: u64,
+}
+iosched_simkit::impl_json_struct!(CampaignRecord {
+    index,
+    label,
+    scheduler,
+    seed,
+    workload,
+    makespan_secs,
+    mean_wait_secs,
+    max_wait_secs,
+    jobs,
+    sched_passes,
+    loop_iterations,
+});
+
+/// One expanded grid point. `index` is the task's position in
+/// [`CampaignGrid::tasks`] order — the engine's merge and resume key.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GridTask {
+    pub index: usize,
+    /// Position on the workload axis.
+    pub workload: usize,
+    pub scheduler: SchedulerKind,
+    pub seed: u64,
+}
+
+impl CampaignGrid {
+    /// A single-workload grid with paper-default base configuration.
+    pub fn new(
+        policies: Vec<PolicyFamily>,
+        thresholds_gibps: Vec<f64>,
+        seeds: Vec<u64>,
+        workload: WorkloadSpec,
+    ) -> Self {
+        CampaignGrid {
+            policies,
+            thresholds_gibps,
+            seeds,
+            workloads: vec![workload],
+            base: GridBase::default(),
+        }
+    }
+
+    /// The expanded scheduler list: policies in declaration order, each
+    /// threshold-taking family crossed with every threshold.
+    pub fn schedulers(&self) -> Vec<SchedulerKind> {
+        let mut out = Vec::new();
+        for family in &self.policies {
+            if family.takes_threshold() {
+                for &t in &self.thresholds_gibps {
+                    out.push(family.scheduler(t));
+                }
+            } else {
+                out.push(family.scheduler(0.0));
+            }
+        }
+        out
+    }
+
+    /// Expand the axes into the flat task list (workload-major,
+    /// scheduler, then seed; `index` is the position in this order).
+    pub fn tasks(&self) -> Vec<GridTask> {
+        let schedulers = self.schedulers();
+        let mut out =
+            Vec::with_capacity(self.workloads.len() * schedulers.len() * self.seeds.len());
+        for w in 0..self.workloads.len() {
+            for &scheduler in &schedulers {
+                for &seed in &self.seeds {
+                    out.push(GridTask {
+                        index: out.len(),
+                        workload: w,
+                        scheduler,
+                        seed,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Total task count (`tasks().len()` without the expansion).
+    pub fn task_count(&self) -> usize {
+        self.workloads.len() * self.schedulers().len() * self.seeds.len()
+    }
+
+    /// The full experiment configuration for one task.
+    pub fn experiment_config(&self, task: &GridTask) -> ExperimentConfig {
+        let mut cfg =
+            ExperimentConfig::paper_scaled(task.scheduler, task.seed, self.base.machine_scale);
+        if self.base.nodes > 0 {
+            cfg.nodes = self.base.nodes;
+        }
+        if self.base.noiseless {
+            cfg.fs = cfg.fs.noiseless();
+        }
+        if self.base.sched_period_secs > 0 {
+            cfg.sched_period = SimDuration::from_secs(self.base.sched_period_secs);
+        }
+        cfg.pretrained = self.base.pretrained;
+        cfg
+    }
+
+    /// Reject empty or inconsistent axes before any work is scheduled.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.policies.is_empty() {
+            return Err("grid has no policies".into());
+        }
+        if self.seeds.is_empty() {
+            return Err("grid has no seeds".into());
+        }
+        if self.workloads.is_empty() {
+            return Err("grid has no workloads".into());
+        }
+        if self.policies.iter().any(PolicyFamily::takes_threshold)
+            && self.thresholds_gibps.is_empty()
+        {
+            return Err("grid has threshold-taking policies but no thresholds_gibps".into());
+        }
+        if self.thresholds_gibps.iter().any(|&t| t <= 0.0) {
+            return Err("thresholds_gibps must be positive".into());
+        }
+        if self.base.machine_scale == 0 {
+            return Err("machine_scale must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iosched_simkit::json::{from_str, ToJson};
+
+    fn sample() -> CampaignGrid {
+        CampaignGrid::new(
+            vec![
+                PolicyFamily::Default,
+                PolicyFamily::IoAware,
+                PolicyFamily::Adaptive,
+            ],
+            vec![20.0, 15.0],
+            vec![1000, 1017, 1034],
+            WorkloadSpec::Workload2,
+        )
+    }
+
+    #[test]
+    fn expansion_order_is_policy_threshold_seed() {
+        let grid = sample();
+        let scheds = grid.schedulers();
+        let labels: Vec<String> = scheds.iter().map(SchedulerKind::label).collect();
+        assert_eq!(
+            labels,
+            [
+                "default",
+                "io-aware-20",
+                "io-aware-15",
+                "adaptive-20",
+                "adaptive-15"
+            ]
+        );
+        let tasks = grid.tasks();
+        assert_eq!(tasks.len(), 15);
+        assert_eq!(grid.task_count(), 15);
+        // Indices are dense and self-describing; seeds are innermost.
+        for (i, t) in tasks.iter().enumerate() {
+            assert_eq!(t.index, i);
+            assert_eq!(t.seed, grid.seeds[i % 3]);
+            assert_eq!(t.scheduler, scheds[i / 3]);
+        }
+    }
+
+    #[test]
+    fn multi_workload_grids_are_workload_major() {
+        let mut grid = sample();
+        grid.workloads.push(WorkloadSpec::Workload1);
+        let tasks = grid.tasks();
+        assert_eq!(tasks.len(), 30);
+        assert!(tasks[..15].iter().all(|t| t.workload == 0));
+        assert!(tasks[15..].iter().all(|t| t.workload == 1));
+    }
+
+    #[test]
+    fn json_round_trips_bitwise() {
+        let mut grid = sample();
+        grid.workloads.push(WorkloadSpec::Synth {
+            jobs: 500,
+            seed: 9,
+            max_procs: 8,
+            mean_interarrival_secs: 20.0,
+            median_run_secs: 120.0,
+            io_fraction: 0.3,
+        });
+        grid.workloads.push(WorkloadSpec::Wave {
+            x8: 10,
+            x6: 10,
+            x2: 23,
+            x1: 40,
+            sleeps: 10,
+            volume_gib: 10.0,
+        });
+        grid.base.machine_scale = 4;
+        grid.base.noiseless = true;
+        let text = grid.to_json().to_json_string();
+        let back: CampaignGrid = from_str(&text).expect("parse grid");
+        assert_eq!(back, grid);
+        assert_eq!(back.to_json().to_json_string(), text);
+    }
+
+    #[test]
+    fn config_applies_base_overrides() {
+        let mut grid = sample();
+        grid.base = GridBase {
+            nodes: 10,
+            machine_scale: 2,
+            pretrained: false,
+            noiseless: true,
+            sched_period_secs: 5,
+        };
+        let t = &grid.tasks()[4];
+        let cfg = grid.experiment_config(t);
+        assert_eq!(cfg.nodes, 10); // explicit override beats the scale
+        assert_eq!(cfg.fs.n_ost, 56 * 2);
+        assert!(!cfg.pretrained);
+        assert_eq!(cfg.sched_period, SimDuration::from_secs(5));
+        assert_eq!(cfg.seed, t.seed);
+        assert_eq!(cfg.scheduler, t.scheduler);
+    }
+
+    #[test]
+    fn paper_defaults_pass_through_untouched() {
+        let grid = sample();
+        let t = &grid.tasks()[0];
+        let cfg = grid.experiment_config(t);
+        let paper = ExperimentConfig::paper(t.scheduler, t.seed);
+        assert_eq!(cfg.nodes, paper.nodes);
+        assert_eq!(cfg.sched_period, paper.sched_period);
+        assert_eq!(cfg.fs.n_ost, paper.fs.n_ost);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_grids() {
+        assert!(sample().validate().is_ok());
+        let mut g = sample();
+        g.policies.clear();
+        assert!(g.validate().is_err());
+        let mut g = sample();
+        g.seeds.clear();
+        assert!(g.validate().is_err());
+        let mut g = sample();
+        g.workloads.clear();
+        assert!(g.validate().is_err());
+        let mut g = sample();
+        g.thresholds_gibps.clear();
+        assert!(g.validate().is_err());
+        // ...but a threshold-free grid needs no thresholds.
+        let g = CampaignGrid::new(
+            vec![PolicyFamily::Default],
+            vec![],
+            vec![1],
+            WorkloadSpec::Workload1,
+        );
+        assert!(g.validate().is_ok());
+        let mut g = sample();
+        g.base.machine_scale = 0;
+        assert!(g.validate().is_err());
+        let mut g = sample();
+        g.thresholds_gibps[0] = -1.0;
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn wave_spec_materializes_the_bench_workload() {
+        let w = WorkloadSpec::Wave {
+            x8: 10,
+            x6: 10,
+            x2: 23,
+            x1: 40,
+            sleeps: 10,
+            volume_gib: 10.0,
+        }
+        .materialize();
+        assert_eq!(w.len(), 93);
+        assert_eq!(w.iter().filter(|j| j.name == "write_x8").count(), 10);
+        assert_eq!(w.iter().filter(|j| j.name == "sleep").count(), 10);
+    }
+
+    #[test]
+    fn paper_specs_materialize_paper_sizes() {
+        assert_eq!(WorkloadSpec::Workload1.materialize().len(), 720);
+        assert_eq!(WorkloadSpec::Workload2.materialize().len(), 1550);
+    }
+}

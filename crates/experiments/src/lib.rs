@@ -21,15 +21,22 @@ pub mod campaign;
 pub mod config;
 pub mod driver;
 pub mod figures;
+pub mod grid;
 pub mod metrics;
+pub mod pool;
 pub mod pretrain;
 pub mod streaming;
 
-pub use campaign::{representative_run, run_campaign, CampaignResult};
+pub use campaign::{
+    representative_run, run_campaign, run_grid, run_grid_resumable, serve_campaigns,
+    CampaignOptions, CampaignResult,
+};
 pub use driver::{
     run_experiment, run_experiment_with_scratch, ExperimentConfig, ExperimentResult, JobRecord,
     RunScratch, SchedulerKind,
 };
+pub use grid::{CampaignGrid, CampaignRecord, GridBase, GridTask, PolicyFamily, WorkloadSpec};
 pub use metrics::{per_class_metrics, scheduling_metrics, SchedulingMetrics};
+pub use pool::{configured_threads, run_all, run_pending};
 pub use pretrain::pretrain_isolated;
 pub use streaming::{run_streaming, StreamingOptions, StreamingResult};

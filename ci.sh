@@ -134,10 +134,10 @@ cargo bench --offline -p iosched-bench --bench fig6_campaign
 bench_diff --gate 2.0 "$BASELINE_DIR/BENCH_fig6_campaign.json" results/bench/BENCH_fig6_campaign.json
 
 step "bench smoke (emits results/bench/BENCH_*.json)"
-for suite in fig3_workload1 fig4_throughput fig5_workload2 fig6_campaign scale campaign; do
+for suite in fig3_workload1 fig4_throughput fig5_workload2 fig6_campaign scale campaign sched; do
     cargo bench --offline -p iosched-bench --bench "$suite" -- --smoke
 done
-for suite in micro fig3_workload1 fig4_throughput fig5_workload2 fig6_campaign scale campaign; do
+for suite in micro fig3_workload1 fig4_throughput fig5_workload2 fig6_campaign scale campaign sched; do
     test -s "results/bench/BENCH_${suite}.json" || {
         echo "missing bench output BENCH_${suite}.json" >&2
         exit 1
@@ -152,6 +152,15 @@ step "bench gate: scale smoke event counters match the committed baseline"
 # when the trace or scheduler legitimately changes).
 bench_diff --gate 2.0 --counters-only \
     "$BASELINE_DIR/BENCH_scale_smoke.json" results/bench/BENCH_scale.json
+
+step "bench gate: sched smoke sweep/prune/elision counters match the committed baseline"
+# The deep-queue round bench's counters (sweep steps per round, pruned
+# fixpoints, driver rounds elided) are deterministic; drift means the
+# profile sweeps, dominance pruning, or round elision changed behavior.
+# Refresh with 'cargo bench -p iosched-bench --bench sched -- --smoke'
+# + cp to BENCH_sched_smoke.json when intended.
+bench_diff --gate 2.0 --counters-only \
+    "$BASELINE_DIR/BENCH_sched_smoke.json" results/bench/BENCH_sched.json
 
 step "bench gate: campaign smoke task/event counters match the committed baseline"
 # The campaign engine's smoke grid (4 tasks) proves merged records are
@@ -172,6 +181,13 @@ if [[ $FULL_SCALE -eq 1 ]]; then
     # -p iosched-bench --bench scale'.
     cargo bench --offline -p iosched-bench --bench scale
     bench_diff --gate 2.0 "$BASELINE_DIR/BENCH_scale.json" results/bench/BENCH_scale.json
+
+    step "bench gate (--full-scale): deep-queue rounds within 2x of baseline"
+    # Full sched suite adds the 50k-deep rounds and calibrated timings
+    # for the optimized-vs-batchonly pairs. Refresh the baseline with
+    # 'cargo bench -p iosched-bench --bench sched'.
+    cargo bench --offline -p iosched-bench --bench sched
+    bench_diff --gate 2.0 "$BASELINE_DIR/BENCH_sched.json" results/bench/BENCH_sched.json
 
     step "bench gate (--full-scale): campaign scaling sweep and 4-worker speedup"
     # Full campaign sweep at 1/2/4/8 workers. The binary itself asserts

@@ -32,8 +32,8 @@ use iosched_simkit::series::TimeSeries;
 use iosched_simkit::time::{SimDuration, SimTime};
 use iosched_slurm::policy::NodePolicy;
 use iosched_slurm::{
-    backfill_pass_into, BackfillConfig, JobRegistry, PriorityPolicy, RunningView, SchedJob,
-    SchedulingOutcome,
+    backfill_pass_into, BackfillConfig, JobRegistry, PassStats, PriorityPolicy, RunningView,
+    SchedJob, SchedulingOutcome,
 };
 use iosched_workloads::JobSubmission;
 
@@ -119,6 +119,13 @@ pub struct ExperimentConfig {
     /// setup). Buffered write bytes complete at client speed and drain
     /// asynchronously.
     pub burst_buffer_per_node_bytes: f64,
+    /// Skip scheduling rounds that are provably identical to the previous
+    /// one (nothing submitted/completed/killed since, no estimate
+    /// refreshed, `now` before the previous round's earliest future
+    /// start, and the policy's tracker build is time-invariant). Outcome
+    /// is bit-identical either way (debug-asserted); only worth disabling
+    /// as a bench baseline.
+    pub elide_rounds: bool,
     /// Analytics configuration (EMA decay, measurement window).
     pub analytics: AnalyticsConfig,
 }
@@ -141,6 +148,7 @@ impl ExperimentConfig {
             enforce_limits: false,
             priority_policy: PriorityPolicy::Fifo,
             burst_buffer_per_node_bytes: 0.0,
+            elide_rounds: true,
             analytics: AnalyticsConfig::default(),
         }
     }
@@ -205,8 +213,13 @@ pub struct ExperimentResult {
     pub streams_trace: TimeSeries,
     /// Per-job records, by id.
     pub jobs: Vec<JobRecord>,
-    /// Scheduling passes executed.
+    /// Scheduling passes executed (including elided rounds — an elided
+    /// round *is* a pass whose outcome was proven unchanged, so the
+    /// counter stays comparable across `elide_rounds` settings).
     pub sched_passes: u64,
+    /// Of [`Self::sched_passes`], rounds whose queue walk was elided
+    /// because the previous outcome provably still held.
+    pub rounds_elided: u64,
     /// Event-loop iterations executed (the loop's `guard` counter): a
     /// deterministic proxy for event count, recorded by the campaign
     /// bench so an event blowup fails the perf gate even when wall-time
@@ -233,6 +246,10 @@ impl ExperimentResult {
 /// The scheduler-policy dispatch (static enum rather than trait objects:
 /// `SchedulingPolicy` has an associated tracker type). Shared with the
 /// streaming replay driver ([`crate::streaming`]).
+// One instance per experiment run; the adaptive variant carries its
+// pooled scratch inline so rounds stay allocation-free — boxing it
+// would trade a one-off stack cost for a pointer chase per round.
+#[allow(clippy::large_enum_variant)]
 pub(crate) enum PolicyImpl {
     Default(NodePolicy),
     IoAware(IoAwarePolicy),
@@ -274,24 +291,67 @@ impl PolicyImpl {
         total_nodes: usize,
         bf: &BackfillConfig,
         outcome: &mut SchedulingOutcome,
-    ) {
+    ) -> PassStats {
         match self {
             PolicyImpl::Default(p) => {
                 backfill_pass_into(p, running, queue, now, total_nodes, bf, outcome)
             }
             PolicyImpl::IoAware(p) => {
                 p.begin_round(std::mem::take(book));
-                backfill_pass_into(p, running, queue, now, total_nodes, bf, outcome);
+                let stats = backfill_pass_into(p, running, queue, now, total_nodes, bf, outcome);
                 *book = p.take_book();
+                stats
             }
             PolicyImpl::Adaptive(p) => {
                 p.begin_round(std::mem::take(book));
-                backfill_pass_into(p, running, queue, now, total_nodes, bf, outcome);
+                let stats = backfill_pass_into(p, running, queue, now, total_nodes, bf, outcome);
                 *book = p.take_book();
+                stats
             }
             PolicyImpl::Packing(cfg) => {
                 *outcome = iosched_core::packing_pass(book, running, queue, now, total_nodes, cfg);
+                // `next_possible_start = ZERO` means `now < horizon` is
+                // never true: packing rounds are never elided (the pass
+                // has no fixpoint horizon to reuse).
+                PassStats {
+                    next_possible_start: SimTime::ZERO,
+                    pruned: 0,
+                }
             }
+        }
+    }
+
+    /// True when this policy's tracker build depends only on the running
+    /// set and queue — not on `now` or freshly measured load — so a round
+    /// with identical inputs at a later `now` (before any reservation
+    /// horizon) must decide identically. The elision precondition.
+    pub(crate) fn round_is_time_invariant(
+        &self,
+        book: &EstimateBook,
+        running: &[(JobId, SimTime)],
+        measured_bps: f64,
+    ) -> bool {
+        match self {
+            // Node/license profiles are built from started/limit pairs;
+            // reservation ends past `now` only move for overrunning jobs,
+            // which the driver's `next_limit_expiry` guard excludes.
+            PolicyImpl::Default(_) => true,
+            // The LT build adds an "unaccounted" term
+            // `measured − Σ r̂` pinned to `[now, now + window)` whenever
+            // measured load exceeds the running jobs' estimates; that
+            // breakpoint tracks `now`, so only rounds without it are
+            // time-invariant.
+            PolicyImpl::IoAware(p) => {
+                let limit = p.config().limit_bps;
+                let sum_running: f64 = running.iter().map(|&(id, _)| book.r(id).min(limit)).sum();
+                measured_bps <= sum_running
+            }
+            // `compute_target` divides remaining work by horizons measured
+            // from `now` whenever jobs are running; only an idle cluster
+            // makes the round time-invariant.
+            PolicyImpl::Adaptive(_) => running.is_empty(),
+            // Packing never elides (see `run_pass`).
+            PolicyImpl::Packing(_) => false,
         }
     }
 }
@@ -325,6 +385,9 @@ pub struct RunScratch {
     queue_ids: Vec<JobId>,
     running_pairs: Vec<(JobId, SimTime)>,
     outcome: SchedulingOutcome,
+    /// The previous executed round's outcome — what an elided round
+    /// re-reports (and what the debug oracle replays against).
+    prev_outcome: SchedulingOutcome,
 }
 
 /// Run one experiment to completion.
@@ -348,6 +411,7 @@ pub fn run_experiment_with_scratch(
     let mut policy = PolicyImpl::new(cfg.scheduler, cfg.qos_fraction);
     let bf = BackfillConfig {
         max_reservations: cfg.backfill_max,
+        prune_fits_now: true,
     };
 
     if cfg.pretrained {
@@ -416,6 +480,17 @@ pub fn run_experiment_with_scratch(
     let mut sched_requested = true;
     let mut now = SimTime::ZERO;
 
+    // Round-elision state (see `ExperimentConfig::elide_rounds`). A round
+    // may be skipped only if: nothing dirtied the inputs since the last
+    // executed round, `now` is before that round's earliest future start,
+    // no job was submitted since it ran, no running job is at its limit
+    // (an overrunning job's reservation end tracks `now`), and the
+    // policy's tracker build was and still is time-invariant.
+    let mut round_dirty = true;
+    let mut prev_round_at = SimTime::ZERO;
+    let mut prev_next_possible = SimTime::ZERO;
+    let mut prev_invariant = false;
+
     // Sampling and per-pass buffers live in `scratch`, reused across
     // ticks and across whole runs. The reference vectors borrow from the
     // run-local job table, so they stay local (cheap: they reach working
@@ -427,9 +502,12 @@ pub fn run_experiment_with_scratch(
         queue_ids,
         running_pairs,
         outcome,
+        prev_outcome,
     } = scratch;
     let mut queue_refs: Vec<&SchedJob> = Vec::new();
     let mut running_views: Vec<RunningView<'_>> = Vec::new();
+    #[cfg(debug_assertions)]
+    let mut oracle_outcome = SchedulingOutcome::default();
 
     let mut guard: u64 = 0;
     while !registry.all_completed() {
@@ -482,6 +560,7 @@ pub fn run_experiment_with_scratch(
                 }
             }
             sched_requested = true;
+            round_dirty = true;
         }
         now = t;
 
@@ -496,6 +575,7 @@ pub fn run_experiment_with_scratch(
                 // Killed jobs produce no estimator observation: their
                 // measured volume is truncated and would bias r̂/d̂.
                 sched_requested = true;
+                round_dirty = true;
             }
         }
 
@@ -531,52 +611,115 @@ pub fn run_experiment_with_scratch(
                 queue_ids,
             );
             if !queue_ids.is_empty() {
-                queue_refs.clear();
-                queue_refs.extend(queue_ids.iter().map(|&id| &entry(&jobs, id).meta));
-                registry.running_ids_into(running_pairs);
-                running_views.clear();
-                running_views.extend(running_pairs.iter().map(|&(id, started)| RunningView {
-                    job: &entry(&jobs, id).meta,
-                    started,
-                }));
-
-                // Line 2 of Algorithm 2: measured current load.
-                book.measured_total_bps = analytics.current_load_bps(&daemon, now);
-
-                // The incremental book must agree with what a rebuild
-                // from the analytics would produce for every job the
-                // round can see.
-                #[cfg(debug_assertions)]
-                for j in queue_refs
-                    .iter()
-                    .copied()
-                    .chain(running_views.iter().map(|rv| rv.job))
-                {
-                    debug_assert_eq!(
-                        book.get(j.id),
-                        Some(analytics.job_estimate_sym(j.name_sym, j.limit)),
-                        "estimate book out of sync for {}",
-                        j.id
-                    );
-                }
-
-                policy.run_pass(
-                    &mut book,
-                    &running_views,
-                    &queue_refs,
-                    now,
-                    cfg.nodes,
-                    &bf,
-                    outcome,
-                );
+                // Elided rounds count too: a pass whose outcome was
+                // proven unchanged is still a pass, and the counter must
+                // not depend on `elide_rounds`.
                 result.sched_passes += 1;
+                registry.running_ids_into(running_pairs);
+                // Line 2 of Algorithm 2: measured current load.
+                let measured = analytics.current_load_bps(&daemon, now);
 
-                for &id in &outcome.start_now {
-                    let spec = &entry(&jobs, id).spec;
-                    cluster
-                        .start_job(now, id, spec)
-                        .unwrap_or_else(|e| panic!("scheduler overcommitted: {e}"));
-                    registry.mark_started(id, now);
+                let elide = cfg.elide_rounds
+                    && !round_dirty
+                    && now < prev_next_possible
+                    && registry
+                        .next_submission_after(prev_round_at)
+                        .is_none_or(|s| s > now)
+                    && registry.next_limit_expiry().is_none_or(|e| e > now)
+                    && prev_invariant
+                    && policy.round_is_time_invariant(&book, running_pairs, measured);
+
+                if elide {
+                    result.rounds_elided += 1;
+                    // Debug oracle: replay the full queue walk and insist
+                    // the previous executed round's outcome still holds
+                    // verbatim (in particular, nothing could start).
+                    #[cfg(debug_assertions)]
+                    {
+                        queue_refs.clear();
+                        queue_refs.extend(queue_ids.iter().map(|&id| &entry(&jobs, id).meta));
+                        running_views.clear();
+                        running_views.extend(running_pairs.iter().map(|&(id, started)| {
+                            RunningView {
+                                job: &entry(&jobs, id).meta,
+                                started,
+                            }
+                        }));
+                        book.measured_total_bps = measured;
+                        policy.run_pass(
+                            &mut book,
+                            &running_views,
+                            &queue_refs,
+                            now,
+                            cfg.nodes,
+                            &bf,
+                            &mut oracle_outcome,
+                        );
+                        debug_assert!(
+                            oracle_outcome.start_now.is_empty(),
+                            "elided round at {now} would have started {:?}",
+                            oracle_outcome.start_now
+                        );
+                        debug_assert_eq!(
+                            oracle_outcome, *prev_outcome,
+                            "elided round at {now} diverged from the previous outcome"
+                        );
+                    }
+                } else {
+                    queue_refs.clear();
+                    queue_refs.extend(queue_ids.iter().map(|&id| &entry(&jobs, id).meta));
+                    running_views.clear();
+                    running_views.extend(running_pairs.iter().map(|&(id, started)| RunningView {
+                        job: &entry(&jobs, id).meta,
+                        started,
+                    }));
+
+                    book.measured_total_bps = measured;
+
+                    // The incremental book must agree with what a rebuild
+                    // from the analytics would produce for every job the
+                    // round can see.
+                    #[cfg(debug_assertions)]
+                    for j in queue_refs
+                        .iter()
+                        .copied()
+                        .chain(running_views.iter().map(|rv| rv.job))
+                    {
+                        debug_assert_eq!(
+                            book.get(j.id),
+                            Some(analytics.job_estimate_sym(j.name_sym, j.limit)),
+                            "estimate book out of sync for {}",
+                            j.id
+                        );
+                    }
+
+                    let stats = policy.run_pass(
+                        &mut book,
+                        &running_views,
+                        &queue_refs,
+                        now,
+                        cfg.nodes,
+                        &bf,
+                        outcome,
+                    );
+                    prev_round_at = now;
+                    prev_next_possible = stats.next_possible_start;
+                    prev_invariant = policy.round_is_time_invariant(&book, running_pairs, measured);
+                    round_dirty = false;
+
+                    for &id in &outcome.start_now {
+                        let spec = &entry(&jobs, id).spec;
+                        cluster
+                            .start_job(now, id, spec)
+                            .unwrap_or_else(|e| panic!("scheduler overcommitted: {e}"));
+                        registry.mark_started(id, now);
+                    }
+                    if !outcome.start_now.is_empty() {
+                        // Starts changed the running set; the next round
+                        // sees different inputs.
+                        round_dirty = true;
+                    }
+                    std::mem::swap(outcome, prev_outcome);
                 }
             }
         }
@@ -916,6 +1059,133 @@ mod tests {
         let res = run_experiment(&cfg, &w);
         assert!(res.jobs.iter().all(|j| !j.timed_out));
         assert!(res.makespan_secs >= 300.0);
+    }
+
+    #[test]
+    fn round_elision_is_outcome_neutral_across_policies() {
+        // `elide_rounds` is a pure optimization: per-job records,
+        // makespan, pass count and event count must be identical with it
+        // on and off, for every policy family.
+        for kind in [
+            SchedulerKind::DefaultBackfill,
+            SchedulerKind::IoAware {
+                limit_bps: gibps(3.0),
+            },
+            SchedulerKind::Adaptive {
+                limit_bps: gibps(20.0),
+                two_group: true,
+            },
+        ] {
+            let on = quick_cfg(kind); // elide_rounds defaults to true
+            let mut off = on.clone();
+            off.elide_rounds = false;
+            let w = tiny_workload();
+            let a = run_experiment(&on, &w);
+            let b = run_experiment(&off, &w);
+            assert_eq!(b.rounds_elided, 0);
+            assert_eq!(a.sched_passes, b.sched_passes, "{kind:?}");
+            assert_eq!(a.loop_iterations, b.loop_iterations, "{kind:?}");
+            assert_eq!(a.makespan_secs, b.makespan_secs, "{kind:?}");
+            assert_eq!(a.jobs.len(), b.jobs.len());
+            for (x, y) in a.jobs.iter().zip(&b.jobs) {
+                assert_eq!(
+                    (x.id, x.start, x.end, x.timed_out),
+                    (y.id, y.start, y.end, y.timed_out),
+                    "{kind:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overrunning_jobs_block_round_elision() {
+        // A 1-node sleep of 300 s with a 60 s limit (enforcement off)
+        // overruns from t = 60 on; its `reservation_end` then tracks
+        // `now + OVERRUN_GRACE`, so the waiter's computed reservation
+        // moves every round — eliding such a round would freeze a stale
+        // outcome, which the `next_limit_expiry` guard forbids. Pin that
+        // the outcome really would change: two passes over the same
+        // overrunning running set at different `now` disagree.
+        use iosched_slurm::{backfill_pass, RunningView};
+        let hog_meta = SchedJob::new(
+            JobId(0),
+            "hog",
+            1,
+            SimDuration::from_secs(60),
+            SimTime::ZERO,
+        );
+        let waiter_meta = SchedJob::new(
+            JobId(1),
+            "waiter",
+            1,
+            SimDuration::from_secs(30),
+            SimTime::ZERO,
+        );
+        let mut outs = [SimTime::ZERO; 2];
+        for (i, now_s) in [100u64, 150].into_iter().enumerate() {
+            let views = [RunningView {
+                job: &hog_meta,
+                started: SimTime::ZERO,
+            }];
+            let out = backfill_pass(
+                &mut NodePolicy::default(),
+                &views,
+                &[&waiter_meta],
+                SimTime::from_secs(now_s),
+                1,
+                &BackfillConfig::default(),
+            );
+            outs[i] = out.reservations[0].1;
+        }
+        assert_ne!(outs[0], outs[1], "overrunning reservation end must move");
+
+        // Driver level: the same shape never elides a round while the hog
+        // overruns. The control run (limit 400 s, no overrun) elides
+        // almost every round of the same 300 s window.
+        let mk = |limit_s: u64| {
+            WorkloadBuilder::new()
+                .batch(
+                    1,
+                    "hog",
+                    ExecSpec::sleep(SimDuration::from_secs(300)),
+                    SimDuration::from_secs(limit_s),
+                )
+                .batch(
+                    1,
+                    "waiter",
+                    ExecSpec::sleep(SimDuration::from_secs(10)),
+                    SimDuration::from_secs(30),
+                )
+                .build()
+        };
+        let mut cfg = quick_cfg(SchedulerKind::DefaultBackfill);
+        cfg.nodes = 1;
+        let mut cfg_off = cfg.clone();
+        cfg_off.elide_rounds = false;
+
+        let overrun = run_experiment(&cfg, &mk(60));
+        let overrun_off = run_experiment(&cfg_off, &mk(60));
+        assert_eq!(overrun.makespan_secs, overrun_off.makespan_secs);
+        for (x, y) in overrun.jobs.iter().zip(&overrun_off.jobs) {
+            assert_eq!((x.id, x.start, x.end), (y.id, y.start, y.end));
+        }
+        let control = run_experiment(&cfg, &mk(400));
+        // Pre-overrun rounds (t < 60) may elide; the 48 rounds of the
+        // overrun window (60 ≤ t < 300) must all execute.
+        assert!(
+            overrun.rounds_elided + 48 <= overrun.sched_passes,
+            "elided {} of {} rounds despite the overrunning hog",
+            overrun.rounds_elided,
+            overrun.sched_passes
+        );
+        // The guard is not vacuous: without an overrun the same window
+        // elides the bulk of its rounds.
+        assert!(
+            control.rounds_elided > overrun.rounds_elided + 20,
+            "control elided {} vs overrun {}",
+            control.rounds_elided,
+            overrun.rounds_elided
+        );
     }
 
     #[test]

@@ -186,6 +186,7 @@ mod tests {
                 timed_out: false,
             }],
             sched_passes: 3,
+            rounds_elided: 0,
             loop_iterations: 0,
             label: "test".into(),
         }

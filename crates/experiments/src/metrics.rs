@@ -166,6 +166,7 @@ mod tests {
                 rec(3, "sleep", 0, 0, 100),
             ],
             sched_passes: 1,
+            rounds_elided: 0,
             loop_iterations: 0,
             label: "t".into(),
         };
@@ -200,6 +201,7 @@ mod tests {
             streams_trace: TimeSeries::new(),
             jobs: vec![],
             sched_passes: 0,
+            rounds_elided: 0,
             loop_iterations: 0,
             label: "t".into(),
         };

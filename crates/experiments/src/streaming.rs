@@ -69,8 +69,12 @@ pub struct StreamingResult {
     pub mean_wait_secs: f64,
     /// Largest queue wait observed, seconds.
     pub max_wait_secs: f64,
-    /// Scheduling passes executed.
+    /// Scheduling passes executed (including elided rounds, exactly like
+    /// [`crate::driver::ExperimentResult::sched_passes`]).
     pub sched_passes: u64,
+    /// Of [`Self::sched_passes`], rounds whose queue walk was elided
+    /// because the previous outcome provably still held.
+    pub rounds_elided: u64,
     /// Event-loop iterations (deterministic event-count proxy, recorded
     /// by the scale bench and gated like the campaign bench's counter).
     pub loop_iterations: u64,
@@ -115,6 +119,7 @@ pub fn run_streaming(
     let mut policy = PolicyImpl::new(cfg.scheduler, cfg.qos_fraction);
     let bf = BackfillConfig {
         max_reservations: cfg.backfill_max,
+        prune_fits_now: true,
     };
 
     let mut registry = JobRegistry::new();
@@ -206,12 +211,24 @@ pub fn run_streaming(
     let mut sched_requested = true;
     let mut now = SimTime::ZERO;
 
+    // Round-elision state — same protocol as `run_experiment_with_scratch`
+    // (see `ExperimentConfig::elide_rounds`). Admissions only happen at
+    // start-up and after retirements, and retirements dirty the round, so
+    // the `next_submission_after` guard still sees every queue change.
+    let mut round_dirty = true;
+    let mut prev_round_at = SimTime::ZERO;
+    let mut prev_next_possible = SimTime::ZERO;
+    let mut prev_invariant = false;
+
     let mut completions: Vec<JobCompletion> = Vec::new();
     let mut snap = iosched_lustre::FsSnapshot::default();
     let mut per_job: Vec<(u64, f64)> = Vec::new();
     let mut queue_ids: Vec<JobId> = Vec::new();
     let mut running_pairs: Vec<(JobId, SimTime)> = Vec::new();
     let mut outcome = SchedulingOutcome::default();
+    let mut prev_outcome = SchedulingOutcome::default();
+    #[cfg(debug_assertions)]
+    let mut oracle_outcome = SchedulingOutcome::default();
 
     let mut guard: u64 = 0;
     while !registry.is_empty() || !exhausted {
@@ -272,6 +289,7 @@ pub fn run_streaming(
                 true
             });
             sched_requested = true;
+            round_dirty = true;
         }
         now = t;
 
@@ -296,6 +314,7 @@ pub fn run_streaming(
                 wait_sum_secs += wait;
                 result.max_wait_secs = result.max_wait_secs.max(wait);
                 sched_requested = true;
+                round_dirty = true;
             }
         }
 
@@ -337,36 +356,94 @@ pub fn run_streaming(
                 &mut queue_ids,
             );
             if !queue_ids.is_empty() {
-                // Reference vectors are pass-local: they borrow the
-                // resident table, which retirement mutates between
-                // passes. Their size is bounded by the window.
-                let queue_refs: Vec<&SchedJob> =
-                    queue_ids.iter().map(|&id| &resident[&id].meta).collect();
-                registry.running_ids_into(&mut running_pairs);
-                let running_views: Vec<RunningView<'_>> = running_pairs
-                    .iter()
-                    .map(|&(id, started)| RunningView {
-                        job: &resident[&id].meta,
-                        started,
-                    })
-                    .collect();
-                book.measured_total_bps = analytics.current_load_bps(&daemon, now);
-                policy.run_pass(
-                    &mut book,
-                    &running_views,
-                    &queue_refs,
-                    now,
-                    cfg.nodes,
-                    &bf,
-                    &mut outcome,
-                );
                 result.sched_passes += 1;
-                for &id in &outcome.start_now {
-                    let spec = &resident[&id].spec;
-                    cluster
-                        .start_job(now, id, spec)
-                        .unwrap_or_else(|e| panic!("scheduler overcommitted: {e}"));
-                    registry.mark_started(id, now);
+                registry.running_ids_into(&mut running_pairs);
+                let measured = analytics.current_load_bps(&daemon, now);
+
+                let elide = cfg.elide_rounds
+                    && !round_dirty
+                    && now < prev_next_possible
+                    && registry
+                        .next_submission_after(prev_round_at)
+                        .is_none_or(|s| s > now)
+                    && registry.next_limit_expiry().is_none_or(|e| e > now)
+                    && prev_invariant
+                    && policy.round_is_time_invariant(&book, &running_pairs, measured);
+
+                if elide {
+                    result.rounds_elided += 1;
+                    // Debug oracle: replay the full queue walk and insist
+                    // the previous executed round's outcome still holds.
+                    #[cfg(debug_assertions)]
+                    {
+                        let queue_refs: Vec<&SchedJob> =
+                            queue_ids.iter().map(|&id| &resident[&id].meta).collect();
+                        let running_views: Vec<RunningView<'_>> = running_pairs
+                            .iter()
+                            .map(|&(id, started)| RunningView {
+                                job: &resident[&id].meta,
+                                started,
+                            })
+                            .collect();
+                        book.measured_total_bps = measured;
+                        policy.run_pass(
+                            &mut book,
+                            &running_views,
+                            &queue_refs,
+                            now,
+                            cfg.nodes,
+                            &bf,
+                            &mut oracle_outcome,
+                        );
+                        debug_assert!(
+                            oracle_outcome.start_now.is_empty(),
+                            "elided round at {now} would have started {:?}",
+                            oracle_outcome.start_now
+                        );
+                        debug_assert_eq!(
+                            oracle_outcome, prev_outcome,
+                            "elided round at {now} diverged from the previous outcome"
+                        );
+                    }
+                } else {
+                    // Reference vectors are pass-local: they borrow the
+                    // resident table, which retirement mutates between
+                    // passes. Their size is bounded by the window.
+                    let queue_refs: Vec<&SchedJob> =
+                        queue_ids.iter().map(|&id| &resident[&id].meta).collect();
+                    let running_views: Vec<RunningView<'_>> = running_pairs
+                        .iter()
+                        .map(|&(id, started)| RunningView {
+                            job: &resident[&id].meta,
+                            started,
+                        })
+                        .collect();
+                    book.measured_total_bps = measured;
+                    let stats = policy.run_pass(
+                        &mut book,
+                        &running_views,
+                        &queue_refs,
+                        now,
+                        cfg.nodes,
+                        &bf,
+                        &mut outcome,
+                    );
+                    prev_round_at = now;
+                    prev_next_possible = stats.next_possible_start;
+                    prev_invariant =
+                        policy.round_is_time_invariant(&book, &running_pairs, measured);
+                    round_dirty = false;
+                    for &id in &outcome.start_now {
+                        let spec = &resident[&id].spec;
+                        cluster
+                            .start_job(now, id, spec)
+                            .unwrap_or_else(|e| panic!("scheduler overcommitted: {e}"));
+                        registry.mark_started(id, now);
+                    }
+                    if !outcome.start_now.is_empty() {
+                        round_dirty = true;
+                    }
+                    std::mem::swap(&mut outcome, &mut prev_outcome);
                 }
             }
         }
@@ -439,6 +516,7 @@ mod tests {
             assert_eq!(streamed.jobs_completed as usize, batch.jobs.len());
             assert_eq!(streamed.makespan_secs, batch.makespan_secs, "{kind:?}");
             assert_eq!(streamed.sched_passes, batch.sched_passes);
+            assert_eq!(streamed.rounds_elided, batch.rounds_elided);
             assert_eq!(streamed.loop_iterations, batch.loop_iterations);
             let batch_max_wait = batch
                 .jobs

@@ -110,6 +110,13 @@ impl AdaptivePolicy {
     pub fn config(&self) -> AdaptiveConfig {
         self.cfg
     }
+
+    /// Override the overlay-compaction threshold of the pooled profiles
+    /// (`0` restores compact-on-every-reserve; bench baseline knob).
+    pub fn set_overlay_limit(&mut self, limit: usize) {
+        self.core.set_overlay_limit(limit);
+        self.at.set_overlay_limit(limit);
+    }
 }
 
 /// Algorithm 5, lines 3–5 (reconstructed; see DESIGN.md): the target
@@ -207,8 +214,9 @@ impl SchedulingPolicy for AdaptivePolicy {
         for rv in running {
             let r = effective_r(&self.book, rv.job, self.cfg.limit_bps);
             let adj = r - rv.job.nodes as f64 * self.params.split.r_zero_bar;
-            self.at.reserve(adj, rv.started, rv.reservation_end(now));
+            self.at.stage(adj, rv.started, rv.reservation_end(now));
         }
+        self.at.commit_staged();
 
         // Line 2: the I/O-aware tracker (Algorithm 2).
         let rt = self.core.init_tracker(
@@ -261,6 +269,25 @@ impl ReservationTracker for AdaptiveTracker<'_> {
             let adj = r - job.nodes as f64 * self.params.split.r_zero_bar;
             self.at.reserve(adj, start, start + job.limit);
         }
+    }
+
+    /// RT dominance plus group compatibility: if the failed job was
+    /// regular, the probe must be regular too (the AT gate's threshold
+    /// `R̃′` is job-independent and the probe's window is no shorter);
+    /// a zero-group failure dominates regardless, since zero jobs face a
+    /// subset of the probe's constraints. Mid-round AT reservations are
+    /// `r − n·r̄_zero > 0` for regular jobs (`ρ > r* ≥ r̄_zero`), so AT
+    /// usage also only grows within a round and pruning stays sound.
+    fn demands_at_least(&self, probe: &SchedJob, failed: &SchedJob) -> bool {
+        if !self.rt.demands_at_least(probe, failed) {
+            return false;
+        }
+        let r_failed = effective_r(self.rt.book, failed, self.rt.limit_bps);
+        if self.params.split.is_zero(r_failed, failed.nodes) {
+            return true;
+        }
+        let r_probe = effective_r(self.rt.book, probe, self.rt.limit_bps);
+        !self.params.split.is_zero(r_probe, probe.nodes)
     }
 }
 

@@ -41,6 +41,13 @@ pub(crate) struct IoAwareCore {
 }
 
 impl IoAwareCore {
+    /// Forward the overlay-compaction override to every pooled profile
+    /// (bench knob; see `ResourceProfile::set_overlay_limit`).
+    pub(crate) fn set_overlay_limit(&mut self, limit: usize) {
+        self.node_policy.set_overlay_limit(limit);
+        self.lt.set_overlay_limit(limit);
+    }
+
     /// Algorithm 2: build the `{NT, LT}` tracker for one round, borrowing
     /// the pooled profiles.
     pub(crate) fn init_tracker<'a>(
@@ -103,6 +110,12 @@ impl IoAwarePolicy {
     pub fn book(&self) -> &EstimateBook {
         &self.book
     }
+
+    /// Override the overlay-compaction threshold of the pooled profiles
+    /// (`0` restores compact-on-every-reserve; bench baseline knob).
+    pub fn set_overlay_limit(&mut self, limit: usize) {
+        self.core.set_overlay_limit(limit);
+    }
 }
 
 /// Fill the LT bandwidth profile of Algorithm 2 (lines 4–8) into a
@@ -118,10 +131,13 @@ pub(crate) fn fill_bandwidth_profile(
     lt.reset(limit_bps);
     let mut sum_running = 0.0;
     let mut horizon = now;
+    // Batched build: stage every delta and sort-coalesce once, keeping
+    // the staging order (running set first, unaccounted load last) equal
+    // to the old insert order so accumulation stays bit-identical.
     for rv in running {
         let r = effective_r(book, rv.job, limit_bps);
         let end = rv.reservation_end(now);
-        lt.reserve(r, rv.started, end);
+        lt.stage(r, rv.started, end);
         sum_running += r;
         horizon = horizon.max(end);
     }
@@ -129,8 +145,9 @@ pub(crate) fn fill_bandwidth_profile(
     // as anonymous usage until the last running job may end.
     let unaccounted = book.measured_total_bps - sum_running;
     if unaccounted > 0.0 && horizon > now {
-        lt.reserve(unaccounted, now, horizon);
+        lt.stage(unaccounted, now, horizon);
     }
+    lt.commit_staged();
 }
 
 /// `r_j` clamped to the limit: an estimate above `R_limit` would make the
@@ -201,6 +218,15 @@ impl ReservationTracker for IoAwareTracker<'_> {
         self.nodes.reserve(job, start);
         let r = effective_r(self.book, job, self.limit_bps);
         self.lt.reserve(r, start, start + job.limit);
+    }
+
+    /// Node/limit/license dominance plus at least as much estimated
+    /// bandwidth. Sound for pruning: every mid-round reservation adds
+    /// nonnegative usage to both the node and LT profiles.
+    fn demands_at_least(&self, probe: &SchedJob, failed: &SchedJob) -> bool {
+        self.nodes.demands_at_least(probe, failed)
+            && effective_r(self.book, probe, self.limit_bps)
+                >= effective_r(self.book, failed, self.limit_bps)
     }
 }
 

@@ -143,14 +143,15 @@ pub fn two_group_split_into(
         acc += j.node_time();
         r_star = j.rho();
         cut = i + 1;
-        // Include all jobs tied at the threshold (ρ_j ≤ r* is the group
-        // definition, so ties cannot straddle the cut).
-        let tie = order[cut..]
-            .iter()
-            .take_while(|&&k| jobs[k as usize].rho() <= r_star)
-            .count();
         if acc + 1e-12 >= need {
-            cut += tie;
+            // Include all jobs tied at the threshold (ρ_j ≤ r* is the
+            // group definition, so ties cannot straddle the cut). Only
+            // scanned once, here at the break — a tie scan per iteration
+            // turns heavily-tied queues quadratic.
+            cut += order[cut..]
+                .iter()
+                .take_while(|&&k| jobs[k as usize].rho() <= r_star)
+                .count();
             break;
         }
     }

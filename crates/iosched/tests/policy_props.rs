@@ -190,4 +190,56 @@ props! {
             }
         }
     }
+
+    /// Fits-now pruning is outcome-neutral for the I/O-aware and
+    /// adaptive trackers too: under tight reservation budgets the pruned
+    /// and unpruned walks agree decision-for-decision for arbitrary
+    /// queues and estimate books (the release-mode oracle comparison —
+    /// `prune_fits_now = false` IS the unpruned walk).
+    fn policy_pruned_walk_matches_unpruned(
+        spec in prop::vec(
+            (1usize..4, 50u64..500, 0.0f64..12.0, 10u64..400),
+            1..30,
+        ),
+        limit in 5.0f64..15.0,
+        measured in 0.0f64..20.0,
+        backfill_max in 0usize..4,
+        total_nodes in 4usize..12,
+    ) {
+        let (queue, mut book) = build_queue(&spec);
+        book.measured_total_bps = measured;
+        let refs: Vec<&SchedJob> = queue.iter().collect();
+        let mut pruned_io = None;
+        let mut pruned_ad = None;
+        for prune in [true, false] {
+            let cfg = BackfillConfig {
+                max_reservations: backfill_max,
+                prune_fits_now: prune,
+            };
+            let mut io = IoAwarePolicy::new(IoAwareConfig { limit_bps: limit });
+            io.begin_round(book.clone());
+            let out_io =
+                backfill_pass(&mut io, &[], &refs, SimTime::ZERO, total_nodes, &cfg);
+            let mut ad = AdaptivePolicy::new(AdaptiveConfig::paper(limit));
+            ad.begin_round(book.clone());
+            let out_ad =
+                backfill_pass(&mut ad, &[], &refs, SimTime::ZERO, total_nodes, &cfg);
+            if prune {
+                // First iteration: stash; second compares.
+                pruned_io = Some(out_io);
+                pruned_ad = Some(out_ad);
+            } else {
+                prop_assert_eq!(
+                    pruned_io.take().unwrap(),
+                    out_io,
+                    "io-aware pruned walk diverged"
+                );
+                prop_assert_eq!(
+                    pruned_ad.take().unwrap(),
+                    out_ad,
+                    "adaptive pruned walk diverged"
+                );
+            }
+        }
+    }
 }

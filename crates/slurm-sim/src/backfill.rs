@@ -19,12 +19,20 @@ pub struct BackfillConfig {
     /// Maximum number of future reservations recorded per round
     /// (`BackfillMax`). Slurm's default configuration is unbounded.
     pub max_reservations: usize,
+    /// Once the reservation budget is exhausted, skip the
+    /// `earliest_start` fixpoint for queue entries that
+    /// [`ReservationTracker::demands_at_least`] a job that already failed
+    /// to start now — they provably cannot start either, and skipping is
+    /// all the budget allows. Outcome-neutral (debug-asserted against the
+    /// unpruned walk); only worth disabling as a bench baseline.
+    pub prune_fits_now: bool,
 }
 
 impl Default for BackfillConfig {
     fn default() -> Self {
         BackfillConfig {
             max_reservations: usize::MAX,
+            prune_fits_now: true,
         }
     }
 }
@@ -34,8 +42,22 @@ impl BackfillConfig {
     pub fn easy() -> Self {
         BackfillConfig {
             max_reservations: 1,
+            ..BackfillConfig::default()
         }
     }
+}
+
+/// Cheap per-pass statistics returned by [`backfill_pass_into`] (the
+/// decisions themselves live in [`SchedulingOutcome`]).
+#[derive(Clone, Copy, Debug)]
+pub struct PassStats {
+    /// Minimum over every future start computed this round: while the
+    /// pass inputs stay unchanged, no examined job can start strictly
+    /// before this time — the driver's round-elision horizon.
+    /// [`SimTime::FAR_FUTURE`] when every examined job started now.
+    pub next_possible_start: SimTime,
+    /// Queue entries whose fixpoint was skipped by fits-now pruning.
+    pub pruned: u64,
 }
 
 /// What one scheduling round decided.
@@ -72,6 +94,15 @@ pub fn backfill_pass<P: SchedulingPolicy>(
 /// [`backfill_pass`] writing into a caller-owned outcome, clearing it
 /// first. Reusing one outcome across rounds keeps the steady-state
 /// scheduling pass allocation-free.
+///
+/// The queue walk prunes provably-futile `earliest_start` fixpoints when
+/// [`BackfillConfig::prune_fits_now`] is set: once the reservation budget
+/// is exhausted a failed job is only recorded as skipped, so any later
+/// entry that [`ReservationTracker::demands_at_least`] the
+/// least-demanding failure seen so far is skipped without a fixpoint.
+/// Sound because usage only grows within a round, so dominance means
+/// "fits now" for the pruned job would imply its dominatee fit at probe
+/// time — contradiction; debug-asserted per pruned job.
 pub fn backfill_pass_into<P: SchedulingPolicy>(
     policy: &mut P,
     running: &[RunningView<'_>],
@@ -80,25 +111,59 @@ pub fn backfill_pass_into<P: SchedulingPolicy>(
     total_nodes: usize,
     cfg: &BackfillConfig,
     outcome: &mut SchedulingOutcome,
-) {
+) -> PassStats {
     outcome.start_now.clear();
     outcome.reservations.clear();
     outcome.skipped.clear();
     let mut tracker = policy.init_tracker(running, queue, now, total_nodes);
     let mut backfill_count = 0usize;
+    let mut next_possible = SimTime::FAR_FUTURE;
+    let mut pruned = 0u64;
+    // Least-demanding job seen failing to start now: the pruning
+    // representative. Never itself a pruned job, so its computed start
+    // bounds every pruned job's from below and `next_possible` stays a
+    // true minimum.
+    let mut min_failed: Option<&SchedJob> = None;
 
-    for job in queue {
+    for &job in queue {
+        if cfg.prune_fits_now && backfill_count >= cfg.max_reservations {
+            if let Some(failed) = min_failed {
+                if tracker.demands_at_least(job, failed) {
+                    #[cfg(debug_assertions)]
+                    debug_assert_ne!(
+                        tracker.earliest_start(job, now),
+                        now,
+                        "pruned job {} could start now",
+                        job.id
+                    );
+                    outcome.skipped.push(job.id);
+                    pruned += 1;
+                    continue;
+                }
+            }
+        }
         let t = tracker.earliest_start(job, now);
         if t == now {
             outcome.start_now.push(job.id);
             tracker.reserve(job, now);
-        } else if backfill_count >= cfg.max_reservations {
-            outcome.skipped.push(job.id);
         } else {
-            tracker.reserve(job, t);
-            outcome.reservations.push((job.id, t));
-            backfill_count += 1;
+            next_possible = next_possible.min(t);
+            min_failed = Some(match min_failed {
+                Some(f) if !tracker.demands_at_least(f, job) => f,
+                _ => job,
+            });
+            if backfill_count >= cfg.max_reservations {
+                outcome.skipped.push(job.id);
+            } else {
+                tracker.reserve(job, t);
+                outcome.reservations.push((job.id, t));
+                backfill_count += 1;
+            }
         }
+    }
+    PassStats {
+        next_possible_start: next_possible,
+        pruned,
     }
 }
 

@@ -26,9 +26,11 @@ pub mod policy;
 pub mod profile;
 pub mod registry;
 
-pub use backfill::{backfill_pass, backfill_pass_into, BackfillConfig, SchedulingOutcome};
+pub use backfill::{
+    backfill_pass, backfill_pass_into, BackfillConfig, PassStats, SchedulingOutcome,
+};
 pub use iosched_simkit::ids::JobId;
 pub use licenses::LicenseRequirements;
 pub use policy::{NodePolicy, ReservationTracker, RunningView, SchedJob, SchedulingPolicy};
-pub use profile::ResourceProfile;
+pub use profile::{take_sweep_steps, ResourceProfile};
 pub use registry::{JobRegistry, JobState, PriorityPolicy};

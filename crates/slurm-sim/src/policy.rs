@@ -137,6 +137,19 @@ pub trait ReservationTracker {
 
     /// Record a reservation for `job` starting at `start` (for `L_j`).
     fn reserve(&mut self, job: &SchedJob, start: SimTime);
+
+    /// Conservative resource-dominance test: `true` only if, under the
+    /// current tracker state and any state reachable by further
+    /// [`Self::reserve`] calls this round, every window that admits
+    /// `probe` would also admit `failed`. The backfill pass uses this to
+    /// skip the `earliest_start` fixpoint for queue entries at least as
+    /// demanding as one that already failed to start now (sound because
+    /// mid-round reservations only *add* usage to every constraining
+    /// profile). Policies that cannot guarantee that monotonicity must
+    /// keep the default `false`.
+    fn demands_at_least(&self, _probe: &SchedJob, _failed: &SchedJob) -> bool {
+        false
+    }
 }
 
 /// A scheduling policy: builds the tracker at the beginning of each
@@ -173,6 +186,9 @@ pub struct NodePolicy {
     pub license_totals: crate::licenses::LicensePools,
     nodes_scratch: ResourceProfile,
     licenses_scratch: Vec<(String, ResourceProfile)>,
+    /// When set, applied to every pooled profile at round start (bench
+    /// knob; see [`ResourceProfile::set_overlay_limit`]).
+    overlay_limit: Option<usize>,
 }
 
 /// Tracker built by [`NodePolicy`]: a node profile plus one profile per
@@ -191,6 +207,13 @@ impl NodeTracker<'_> {
 }
 
 impl NodePolicy {
+    /// Override the overlay-compaction threshold of every pooled profile
+    /// (`0` restores the pre-overlay compact-on-every-reserve behavior —
+    /// the deep-queue bench's baseline mode).
+    pub fn set_overlay_limit(&mut self, limit: usize) {
+        self.overlay_limit = Some(limit);
+    }
+
     /// Reset the pooled profiles for a new round. License profiles are
     /// reused in place while the pool names are unchanged (the common
     /// case); the name strings are recloned only when `license_totals`
@@ -219,6 +242,12 @@ impl NodePolicy {
                     .map(|(name, &total)| (name.clone(), ResourceProfile::new(total))),
             );
         }
+        if let Some(limit) = self.overlay_limit {
+            self.nodes_scratch.set_overlay_limit(limit);
+            for (_, profile) in self.licenses_scratch.iter_mut() {
+                profile.set_overlay_limit(limit);
+            }
+        }
     }
 }
 
@@ -235,15 +264,22 @@ impl SchedulingPolicy for NodePolicy {
         self.reset_scratch(total_nodes);
         let nodes = &mut self.nodes_scratch;
         let licenses = self.licenses_scratch.as_mut_slice();
+        // Batched build: stage every running-set delta, then sort and
+        // coalesce once per profile — O(R log R) instead of the insert
+        // path's O(R·k), bit-identical by `commit_staged`'s contract.
         for rv in running {
             let end = rv.reservation_end(now);
-            nodes.reserve(rv.job.nodes as f64, rv.started, end);
+            nodes.stage(rv.job.nodes as f64, rv.started, end);
             for (name, profile) in licenses.iter_mut() {
                 let amount = rv.job.licenses.get(name);
                 if amount > 0.0 {
-                    profile.reserve(amount, rv.started, end);
+                    profile.stage(amount, rv.started, end);
                 }
             }
+        }
+        nodes.commit_staged();
+        for (_, profile) in licenses.iter_mut() {
+            profile.commit_staged();
         }
         NodeTracker { nodes, licenses }
     }
@@ -279,6 +315,20 @@ impl ReservationTracker for NodeTracker<'_> {
                 profile.reserve(amount, start, end);
             }
         }
+    }
+
+    /// `probe` needs at least as many nodes, at least as long a window,
+    /// and at least as much of every tracked license pool as `failed` —
+    /// so any window admitting `probe` admits `failed`, in this state and
+    /// (since node/license reservations are nonnegative) every later one
+    /// this round.
+    fn demands_at_least(&self, probe: &SchedJob, failed: &SchedJob) -> bool {
+        probe.nodes >= failed.nodes
+            && probe.limit >= failed.limit
+            && self
+                .licenses
+                .iter()
+                .all(|(name, _)| probe.licenses.get(name) >= failed.licenses.get(name))
     }
 }
 

@@ -15,8 +15,25 @@
 //! Amounts are `f64` and may be negative (the workload-adaptive AT tracker
 //! reserves `r_j − n_j·r̄_zero`, which is negative for low-I/O running
 //! jobs); usage is allowed to dip below zero.
+//!
+//! # Write paths
+//!
+//! Three ways to add reservations, all producing bit-identical query
+//! results (pinned by debug oracles and property tests):
+//!
+//! * **Batched build** — [`Self::stage`] + [`Self::commit_staged`]: the
+//!   round-start tracker build stages every running-set delta, then sorts
+//!   and coalesces once, O(R log R) instead of the insert path's O(R·k).
+//! * **Overlay** — [`Self::reserve`] mid-round: new breakpoints append to
+//!   a small sorted overlay (binary insert into a bounded vector) that
+//!   queries merge on the fly; it is compacted into the main vector when
+//!   it outgrows [`Self::set_overlay_limit`]. This kills the O(k) memmove
+//!   per delayed job that dominated unbounded-reservation rounds.
+//! * **Insert path** — the original one-`Vec::insert`-per-breakpoint
+//!   implementation survives as `insert_delta`, the debug/test oracle.
 
 use iosched_simkit::time::{SimDuration, SimTime};
+use std::cell::Cell;
 
 /// Relative tolerance used when comparing usage against capacity, so that
 /// reserving exactly the remaining capacity still "fits".
@@ -24,18 +41,66 @@ fn eps_for(cap: f64) -> f64 {
     1e-9 * cap.abs().max(1.0)
 }
 
+thread_local! {
+    /// Breakpoints advanced by [`ResourceProfile::earliest_at_most`]
+    /// sweeps on this thread — the deterministic work counter behind the
+    /// deep-queue bench's `sweep_steps/*` entries.
+    static SWEEP_STEPS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Read and reset this thread's sweep-step counter (breakpoints walked by
+/// `earliest_at_most` since the last call).
+pub fn take_sweep_steps() -> u64 {
+    SWEEP_STEPS.with(|c| c.replace(0))
+}
+
+/// Insert-path accumulation of `d` at breakpoint `t`: binary-search and
+/// accumulate in place or `Vec::insert`. The original write path, kept as
+/// the oracle the batched/overlay paths are asserted against.
+///
+/// A breakpoint whose accumulated delta reaches exactly `0.0` is dropped
+/// (+a then −a at the same instant) so sweeps don't walk dead entries.
+#[cfg_attr(not(any(test, debug_assertions)), allow(dead_code))]
+fn insert_delta(deltas: &mut Vec<(SimTime, f64)>, t: SimTime, d: f64) {
+    match deltas.binary_search_by_key(&t, |e| e.0) {
+        Ok(i) => {
+            deltas[i].1 += d;
+            if deltas[i].1 == 0.0 {
+                deltas.remove(i);
+            }
+        }
+        Err(i) => deltas.insert(i, (t, d)),
+    }
+}
+
 /// A step function of reserved amount over time, with a fixed capacity.
 ///
-/// Breakpoints live in a sorted `Vec` (not a `BTreeMap`): reservations at
-/// an existing breakpoint accumulate in place, queries binary-search, and
-/// [`Self::reset`] retains the allocation so pooled profiles make the
-/// steady-state scheduling pass allocation-free.
+/// Breakpoints live in two sorted `Vec`s with disjoint instants — the
+/// `deltas` main vector and the bounded `overlay` — merged on the fly by
+/// every query. [`Self::reset`] retains all allocations so pooled
+/// profiles keep the steady-state scheduling pass allocation-free.
 #[derive(Clone, Debug)]
 pub struct ResourceProfile {
     capacity: f64,
     /// `(breakpoint, change of the reserved amount)`, sorted by time with
     /// at most one entry per instant.
     deltas: Vec<(SimTime, f64)>,
+    /// Mid-round reservations at instants absent from `deltas`: sorted,
+    /// disjoint from `deltas`, compacted into it past `overlay_limit`.
+    overlay: Vec<(SimTime, f64)>,
+    /// Staged `(t, seq, d)` entries awaiting [`Self::commit_staged`];
+    /// `seq` is the push index, so an unstable sort on `(t, seq)` (which
+    /// never allocates, unlike a stable sort) reproduces call order at
+    /// each instant exactly.
+    staged: Vec<(SimTime, u32, f64)>,
+    /// Pooled target for overlay compaction merges.
+    merge_scratch: Vec<(SimTime, f64)>,
+    /// Overlay size that triggers compaction; see
+    /// [`Self::set_overlay_limit`].
+    overlay_limit: usize,
+    /// Pooled insert-path replay for the `commit_staged` debug oracle.
+    #[cfg(debug_assertions)]
+    oracle: Vec<(SimTime, f64)>,
 }
 
 impl Default for ResourceProfile {
@@ -45,12 +110,23 @@ impl Default for ResourceProfile {
 }
 
 impl ResourceProfile {
+    /// Default [`Self::set_overlay_limit`]: large enough that typical
+    /// bounded-backfill rounds never compact, small enough that the
+    /// per-query merge stays cache-resident.
+    pub const DEFAULT_OVERLAY_LIMIT: usize = 64;
+
     /// Empty profile with the given capacity (must be finite).
     pub fn new(capacity: f64) -> Self {
         assert!(capacity.is_finite(), "capacity must be finite");
         ResourceProfile {
             capacity,
             deltas: Vec::new(),
+            overlay: Vec::new(),
+            staged: Vec::new(),
+            merge_scratch: Vec::new(),
+            overlay_limit: Self::DEFAULT_OVERLAY_LIMIT,
+            #[cfg(debug_assertions)]
+            oracle: Vec::new(),
         }
     }
 
@@ -60,20 +136,75 @@ impl ResourceProfile {
     }
 
     /// Clear all reservations and set a new capacity, keeping the
-    /// breakpoint allocation for reuse.
+    /// breakpoint allocations (and the overlay limit) for reuse.
     pub fn reset(&mut self, capacity: f64) {
         assert!(capacity.is_finite(), "capacity must be finite");
         self.capacity = capacity;
         self.deltas.clear();
+        self.overlay.clear();
+        self.staged.clear();
     }
 
-    /// Accumulate `d` at breakpoint `t` (same float accumulation order as
-    /// the old `BTreeMap::entry` implementation).
-    fn add_delta(&mut self, t: SimTime, d: f64) {
-        match self.deltas.binary_search_by_key(&t, |e| e.0) {
-            Ok(i) => self.deltas[i].1 += d,
-            Err(i) => self.deltas.insert(i, (t, d)),
+    /// Set the overlay size past which [`Self::reserve`] compacts the
+    /// overlay into the main vector. `0` compacts after every reserve
+    /// (the pre-overlay behavior, used as the bench baseline); the limit
+    /// survives [`Self::reset`].
+    pub fn set_overlay_limit(&mut self, limit: usize) {
+        self.overlay_limit = limit;
+        if self.overlay.len() > self.overlay_limit {
+            self.compact();
         }
+    }
+
+    /// Accumulate `d` at breakpoint `t`: in place when the instant exists
+    /// in either vector, otherwise a binary insert into the (small)
+    /// overlay. Exact-zero results drop the breakpoint.
+    fn overlay_add(&mut self, t: SimTime, d: f64) {
+        if let Ok(i) = self.deltas.binary_search_by_key(&t, |e| e.0) {
+            self.deltas[i].1 += d;
+            if self.deltas[i].1 == 0.0 {
+                self.deltas.remove(i);
+            }
+            return;
+        }
+        match self.overlay.binary_search_by_key(&t, |e| e.0) {
+            Ok(i) => {
+                self.overlay[i].1 += d;
+                if self.overlay[i].1 == 0.0 {
+                    self.overlay.remove(i);
+                }
+            }
+            Err(i) => self.overlay.insert(i, (t, d)),
+        }
+    }
+
+    /// Merge the overlay into the main vector. Instants are disjoint, so
+    /// this is a plain two-way merge; values move without re-accumulation,
+    /// keeping every stored bit identical to the insert path's.
+    fn compact(&mut self) {
+        if self.overlay.is_empty() {
+            return;
+        }
+        self.merge_scratch.clear();
+        self.merge_scratch
+            .reserve(self.deltas.len() + self.overlay.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.deltas.len() && j < self.overlay.len() {
+            let (ta, tb) = (self.deltas[i].0, self.overlay[j].0);
+            debug_assert_ne!(ta, tb, "overlay instant collides with main vector");
+            if ta < tb {
+                self.merge_scratch.push(self.deltas[i]);
+                i += 1;
+            } else {
+                self.merge_scratch.push(self.overlay[j]);
+                j += 1;
+            }
+        }
+        self.merge_scratch.extend_from_slice(&self.deltas[i..]);
+        self.merge_scratch.extend_from_slice(&self.overlay[j..]);
+        std::mem::swap(&mut self.deltas, &mut self.merge_scratch);
+        self.overlay.clear();
+        debug_assert!(self.deltas.windows(2).all(|w| w[0].0 < w[1].0));
     }
 
     /// Reserve `amount` (may be negative) over `[start, end)`. Empty or
@@ -82,29 +213,101 @@ impl ResourceProfile {
         if end <= start || amount == 0.0 {
             return;
         }
-        self.add_delta(start, amount);
-        self.add_delta(end, -amount);
+        debug_assert!(self.staged.is_empty(), "commit_staged before reserving");
+        self.overlay_add(start, amount);
+        self.overlay_add(end, -amount);
+        if self.overlay.len() > self.overlay_limit {
+            self.compact();
+        }
+    }
+
+    /// Stage `amount` over `[start, end)` for a batched build. Invisible
+    /// to queries until [`Self::commit_staged`]; must only be used on a
+    /// freshly [`Self::reset`] profile.
+    pub fn stage(&mut self, amount: f64, start: SimTime, end: SimTime) {
+        if end <= start || amount == 0.0 {
+            return;
+        }
+        let seq = self.staged.len() as u32;
+        self.staged.push((start, seq, amount));
+        self.staged.push((end, seq + 1, -amount));
+    }
+
+    /// Sort and coalesce everything staged since [`Self::reset`] into the
+    /// breakpoint vector: O(S log S) total where the insert path is
+    /// O(S·k). Accumulation at each instant runs left-to-right in staging
+    /// (call) order, so every stored delta is bit-identical to the insert
+    /// path's — asserted against a pooled insert-path replay in debug
+    /// builds. Exact-zero sums drop the breakpoint, exactly like
+    /// `insert_delta` (a cancelled running total restarts from `0.0 + d`,
+    /// which equals `d` bitwise for the nonzero `d` staging admits).
+    pub fn commit_staged(&mut self) {
+        debug_assert!(
+            self.deltas.is_empty() && self.overlay.is_empty(),
+            "commit_staged on a profile with committed reservations"
+        );
+        #[cfg(debug_assertions)]
+        {
+            let (oracle, staged) = (&mut self.oracle, &self.staged);
+            oracle.clear();
+            for &(t, _, d) in staged {
+                insert_delta(oracle, t, d);
+            }
+        }
+        self.staged.sort_unstable_by_key(|&(t, seq, _)| (t, seq));
+        let mut i = 0;
+        while i < self.staged.len() {
+            let t = self.staged[i].0;
+            let mut acc = self.staged[i].2;
+            i += 1;
+            while i < self.staged.len() && self.staged[i].0 == t {
+                acc += self.staged[i].2;
+                i += 1;
+            }
+            if acc != 0.0 {
+                self.deltas.push((t, acc));
+            }
+        }
+        self.staged.clear();
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            self.deltas.len() == self.oracle.len()
+                && self
+                    .deltas
+                    .iter()
+                    .zip(self.oracle.iter())
+                    .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits()),
+            "batched build diverged from the insert-path oracle"
+        );
     }
 
     /// Total reserved amount at time `t`.
     pub fn usage_at(&self, t: SimTime) -> f64 {
-        let hi = self.deltas.partition_point(|e| e.0 <= t);
-        self.deltas[..hi].iter().map(|e| e.1).sum()
+        debug_assert!(self.staged.is_empty(), "commit_staged before querying");
+        let mut m = Merge::new(self);
+        let mut usage = 0.0;
+        while m.peek().is_some_and(|bt| bt <= t) {
+            usage += m.next().expect("peeked").1;
+        }
+        usage
     }
 
     /// Maximum reserved amount over `[start, end)`; `usage_at(start)` if
     /// there are no breakpoints inside the window. Returns 0.0 for empty
     /// windows.
     pub fn max_over(&self, start: SimTime, end: SimTime) -> f64 {
+        debug_assert!(self.staged.is_empty(), "commit_staged before querying");
         if end <= start {
             return 0.0;
         }
-        let mut usage = self.usage_at(start);
+        let mut m = Merge::new(self);
+        let mut usage = 0.0;
+        while m.peek().is_some_and(|bt| bt <= start) {
+            usage += m.next().expect("peeked").1;
+        }
         let mut max = usage;
-        let lo = self.deltas.partition_point(|e| e.0 <= start);
-        let hi = self.deltas.partition_point(|e| e.0 < end);
-        for &(_, d) in &self.deltas[lo..hi] {
-            usage += d;
+        while m.peek().is_some_and(|bt| bt < end) {
+            usage += m.next().expect("peeked").1;
             max = max.max(usage);
         }
         max
@@ -113,10 +316,10 @@ impl ResourceProfile {
     /// Earliest `t ≥ from` such that the reserved amount stays at or below
     /// `threshold` throughout `[t, t + dur)`.
     ///
-    /// Single left-to-right sweep over the breakpoints, O(k): walk the
-    /// piecewise-constant segments accumulating usage once, track the
+    /// Single left-to-right sweep over the merged breakpoints, O(k): walk
+    /// the piecewise-constant segments accumulating usage once, track the
     /// start of the current run of fitting segments, and return as soon
-    /// as a run covers a full window. The previous implementation probed
+    /// as a run covers a full window. The pre-sweep implementation probed
     /// `max_over` (itself O(k)) at every candidate — O(k²) per query,
     /// which the scale sweep exposed as super-linear in queue depth; it
     /// survives as [`Self::earliest_at_most_scan`], the debug oracle.
@@ -126,43 +329,21 @@ impl ResourceProfile {
     /// tail usage exceeds the threshold, [`SimTime::FAR_FUTURE`] is
     /// returned.
     pub fn earliest_at_most(&self, from: SimTime, dur: SimDuration, threshold: f64) -> SimTime {
+        debug_assert!(self.staged.is_empty(), "commit_staged before querying");
         let eps = eps_for(self.capacity);
         let limit = threshold + eps;
         let dur = dur.max(SimDuration::from_millis(1));
-
-        // Accumulate usage over the breakpoints at or before `from` (the
-        // same left-to-right float accumulation as `usage_at`, so every
-        // comparison sees bit-identical sums to the oracle's).
-        let mut usage = 0.0;
-        let mut i = 0usize;
-        while i < self.deltas.len() && self.deltas[i].0 <= from {
-            usage += self.deltas[i].1;
-            i += 1;
-        }
-
-        // Walk the segments [seg_start, deltas[i].0) with constant
-        // `usage`. `cand` is the earliest potential start: `from`, pushed
-        // to the end of every violating segment encountered.
-        let mut cand = from;
-        let result = loop {
-            let seg_end = self.deltas.get(i).map(|e| e.0);
-            if usage <= limit {
-                // Fits through this whole segment; done if the window
-                // [cand, cand + dur) closes before the segment does.
-                match seg_end {
-                    Some(end) if cand + dur > end => {}
-                    _ => break cand, // covers the window (or tail: fits forever)
-                }
-            } else {
-                match seg_end {
-                    Some(end) => cand = end,
-                    // Tail usage exceeds the threshold forever.
-                    None => break SimTime::FAR_FUTURE,
-                }
-            }
-            usage += self.deltas[i].1;
-            i += 1;
+        let mut steps: u64 = 0;
+        // Monomorphize the sweep for the empty-overlay case: a plain
+        // slice walk with no per-step merge branching. The merged sweep
+        // visits the same breakpoints in the same order, so both paths
+        // accumulate bit-identical usage sums.
+        let result = if self.overlay.is_empty() {
+            sweep(self.deltas.iter().copied(), from, dur, limit, &mut steps)
+        } else {
+            sweep(Merge::new(self), from, dur, limit, &mut steps)
         };
+        SWEEP_STEPS.with(|c| c.set(c.get() + steps));
         #[cfg(debug_assertions)]
         debug_assert_eq!(
             result,
@@ -182,16 +363,27 @@ impl ResourceProfile {
         let fits = |t: SimTime| -> bool {
             self.max_over(t, t + dur.max(SimDuration::from_millis(1))) <= threshold + eps
         };
+        let next_after = |t: SimTime| -> Option<SimTime> {
+            let a = self
+                .deltas
+                .get(self.deltas.partition_point(|e| e.0 <= t))
+                .map(|e| e.0);
+            let b = self
+                .overlay
+                .get(self.overlay.partition_point(|e| e.0 <= t))
+                .map(|e| e.0);
+            match (a, b) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (a, None) => a,
+                (None, b) => b,
+            }
+        };
         let mut t = from;
         loop {
             if fits(t) {
                 return t;
             }
-            let next = self
-                .deltas
-                .get(self.deltas.partition_point(|e| e.0 <= t))
-                .map(|e| e.0);
-            match next {
+            match next_after(t) {
                 Some(bt) => t = bt,
                 None => return SimTime::FAR_FUTURE,
             }
@@ -206,14 +398,122 @@ impl ResourceProfile {
 
     /// Breakpoints and cumulative usage, for diagnostics and tests.
     pub fn steps(&self) -> Vec<(SimTime, f64)> {
+        debug_assert!(self.staged.is_empty(), "commit_staged before querying");
         let mut usage = 0.0;
-        self.deltas
-            .iter()
-            .map(|&(t, d)| {
+        Merge::new(self)
+            .map(|(t, d)| {
                 usage += d;
                 (t, usage)
             })
             .collect()
+    }
+}
+
+/// The [`ResourceProfile::earliest_at_most`] segment walk over any
+/// time-ordered breakpoint stream: accumulate usage once left to right,
+/// track the start of the current run of fitting segments, return as
+/// soon as a run covers a full window.
+fn sweep<I: Iterator<Item = (SimTime, f64)>>(
+    iter: I,
+    from: SimTime,
+    dur: SimDuration,
+    limit: f64,
+    steps: &mut u64,
+) -> SimTime {
+    let mut m = iter.peekable();
+
+    // Accumulate usage over the breakpoints at or before `from` (the
+    // same left-to-right float accumulation as `usage_at`, so every
+    // comparison sees bit-identical sums to the oracle's).
+    let mut usage = 0.0;
+    while m.peek().is_some_and(|&(bt, _)| bt <= from) {
+        usage += m.next().expect("peeked").1;
+        *steps += 1;
+    }
+
+    // Walk the segments [seg_start, peek()) with constant `usage`.
+    // `cand` is the earliest potential start: `from`, pushed to the
+    // end of every violating segment encountered.
+    let mut cand = from;
+    loop {
+        let seg_end = m.peek().map(|&(bt, _)| bt);
+        if usage <= limit {
+            // Fits through this whole segment; done if the window
+            // [cand, cand + dur) closes before the segment does.
+            match seg_end {
+                Some(end) if cand + dur > end => {}
+                _ => break cand, // covers the window (or tail: fits forever)
+            }
+        } else {
+            match seg_end {
+                Some(end) => cand = end,
+                // Tail usage exceeds the threshold forever.
+                None => break SimTime::FAR_FUTURE,
+            }
+        }
+        usage += m.next().expect("peeked").1;
+        *steps += 1;
+    }
+}
+
+/// Two-way merge cursor over the main and overlay breakpoint vectors.
+/// Instants are disjoint between the two, so every merged breakpoint is
+/// visited exactly once in time order: queries run one `+=` per
+/// breakpoint exactly as they would over a single vector, keeping float
+/// sums bit-identical to the insert path's.
+struct Merge<'a> {
+    a: &'a [(SimTime, f64)],
+    b: &'a [(SimTime, f64)],
+    i: usize,
+    j: usize,
+}
+
+impl<'a> Merge<'a> {
+    fn new(p: &'a ResourceProfile) -> Self {
+        Merge {
+            a: &p.deltas,
+            b: &p.overlay,
+            i: 0,
+            j: 0,
+        }
+    }
+
+    /// Time of the next breakpoint without consuming it.
+    fn peek(&self) -> Option<SimTime> {
+        match (self.a.get(self.i), self.b.get(self.j)) {
+            (Some(&(ta, _)), Some(&(tb, _))) => Some(ta.min(tb)),
+            (Some(&(ta, _)), None) => Some(ta),
+            (None, Some(&(tb, _))) => Some(tb),
+            (None, None) => None,
+        }
+    }
+}
+
+impl Iterator for Merge<'_> {
+    type Item = (SimTime, f64);
+
+    fn next(&mut self) -> Option<(SimTime, f64)> {
+        match (self.a.get(self.i), self.b.get(self.j)) {
+            (Some(&ea), Some(&eb)) => {
+                debug_assert_ne!(ea.0, eb.0, "overlay instant collides with main vector");
+                if ea.0 < eb.0 {
+                    self.i += 1;
+                    Some(ea)
+                } else {
+                    self.j += 1;
+                    Some(eb)
+                }
+            }
+            (Some(&ea), None) => {
+                self.i += 1;
+                Some(ea)
+            }
+            (None, Some(&eb)) => {
+                self.j += 1;
+                Some(eb)
+            }
+            (None, None) => None,
+        }
     }
 }
 
@@ -323,6 +623,83 @@ mod tests {
     }
 
     #[test]
+    fn cancelled_deltas_leave_no_dead_breakpoints() {
+        // +a then −a over the same interval cancels both breakpoints.
+        let mut p = ResourceProfile::new(10.0);
+        p.reserve(3.0, t(10), t(20));
+        p.reserve(-3.0, t(10), t(20));
+        assert!(p.steps().is_empty());
+
+        // Abutting reservations of the same amount cancel the shared
+        // instant: +2@0 −2@10 then +2@10 −2@20 leaves nothing at t=10.
+        let mut p = ResourceProfile::new(10.0);
+        p.reserve(2.0, t(0), t(10));
+        p.reserve(2.0, t(10), t(20));
+        assert!(p.steps().iter().all(|&(bt, _)| bt != t(10)));
+        assert_eq!(p.usage_at(t(5)), 2.0);
+        assert_eq!(p.usage_at(t(15)), 2.0);
+        assert_eq!(p.usage_at(t(25)), 0.0);
+
+        // Same cancellation through the batched path.
+        let mut p = ResourceProfile::new(10.0);
+        p.stage(2.0, t(0), t(10));
+        p.stage(2.0, t(10), t(20));
+        p.commit_staged();
+        assert!(p.steps().iter().all(|&(bt, _)| bt != t(10)));
+        assert_eq!(p.usage_at(t(15)), 2.0);
+    }
+
+    #[test]
+    fn batched_build_matches_reserve() {
+        let mut a = ResourceProfile::new(10.0);
+        let mut b = ResourceProfile::new(10.0);
+        let resv = [
+            (4.0, 10u64, 20u64),
+            (3.0, 15, 25),
+            (-1.0, 0, 40),
+            (2.0, 15, 25),
+        ];
+        for &(amt, s, e) in &resv {
+            a.reserve(amt, t(s), t(e));
+            b.stage(amt, t(s), t(e));
+        }
+        b.commit_staged();
+        assert_eq!(a.steps(), b.steps());
+        // Committed profiles accept further overlay reservations.
+        a.reserve(1.5, t(12), t(18));
+        b.reserve(1.5, t(12), t(18));
+        assert_eq!(a.steps(), b.steps());
+        assert_eq!(
+            a.earliest_fit(t(0), d(8), 3.0),
+            b.earliest_fit(t(0), d(8), 3.0)
+        );
+    }
+
+    #[test]
+    fn overlay_compaction_preserves_queries() {
+        let mut p = ResourceProfile::new(10.0);
+        p.set_overlay_limit(2);
+        for k in 0..20u64 {
+            p.reserve(0.25, t(k), t(k + 7));
+        }
+        let mut q = ResourceProfile::new(10.0);
+        q.set_overlay_limit(usize::MAX);
+        for k in 0..20u64 {
+            q.reserve(0.25, t(k), t(k + 7));
+        }
+        assert_eq!(p.steps(), q.steps());
+        for probe in 0..30u64 {
+            assert_eq!(
+                p.usage_at(t(probe)).to_bits(),
+                q.usage_at(t(probe)).to_bits()
+            );
+        }
+        // Lowering the limit compacts immediately.
+        q.set_overlay_limit(0);
+        assert_eq!(p.steps(), q.steps());
+    }
+
+    #[test]
     fn capacity_accessor_and_stacked_identical_intervals() {
         let mut p = ResourceProfile::new(7.5);
         assert_eq!(p.capacity(), 7.5);
@@ -364,6 +741,26 @@ mod tests {
         assert_eq!(p.usage_at(t(5)), 0.0);
         p.reserve(2.0, t(0), t(10));
         assert_eq!(p.usage_at(t(5)), 2.0);
+    }
+
+    /// Rebuild the cumulative steps of an insert-path delta vector, the
+    /// oracle the overlay/batched property tests compare against.
+    fn oracle_steps(resv: &[(u64, u64, f64)]) -> Vec<(SimTime, f64)> {
+        let mut deltas: Vec<(SimTime, f64)> = Vec::new();
+        for &(s, len, a) in resv {
+            if a != 0.0 && len > 0 {
+                insert_delta(&mut deltas, t(s), a);
+                insert_delta(&mut deltas, t(s + len), -a);
+            }
+        }
+        let mut usage = 0.0;
+        deltas
+            .iter()
+            .map(|&(bt, d)| {
+                usage += d;
+                (bt, usage)
+            })
+            .collect()
     }
 
     props! {
@@ -414,6 +811,59 @@ mod tests {
                 }
             }
             prop_assert!((p.usage_at(t(probe)) - naive).abs() < 1e-9);
+        }
+
+        /// Every overlay-compaction regime and the batched build store
+        /// bit-identical breakpoints to the insert path, and answer
+        /// earliest_at_most identically. Runs under cfg(test) — not just
+        /// debug_assertions — so release CI exercises the oracle too.
+        fn prop_write_paths_bitwise_identical(
+            resv in prop::vec((0u64..60, 1u64..30, -3.0f64..5.0), 0..24),
+            from in 0u64..50,
+            dur in 1u64..20,
+            thr in 0.0f64..9.0,
+        ) {
+            let oracle = oracle_steps(&resv);
+            for limit in [0usize, 3, usize::MAX] {
+                let mut p = ResourceProfile::new(10.0);
+                p.set_overlay_limit(limit);
+                for &(s, len, a) in &resv {
+                    p.reserve(a, t(s), t(s + len));
+                }
+                let steps = p.steps();
+                prop_assert!(
+                    steps.len() == oracle.len()
+                        && steps.iter().zip(oracle.iter()).all(|(x, y)| {
+                            x.0 == y.0 && x.1.to_bits() == y.1.to_bits()
+                        }),
+                    "overlay limit {limit} diverged from the insert path"
+                );
+                prop_assert!(
+                    p.earliest_at_most(t(from), d(dur), thr)
+                        == {
+                            let mut q = ResourceProfile::new(10.0);
+                            q.set_overlay_limit(0);
+                            for &(s, len, a) in &resv {
+                                q.reserve(a, t(s), t(s + len));
+                            }
+                            q.earliest_at_most(t(from), d(dur), thr)
+                        },
+                    "earliest_at_most diverged at overlay limit {limit}"
+                );
+            }
+            let mut b = ResourceProfile::new(10.0);
+            for &(s, len, a) in &resv {
+                b.stage(a, t(s), t(s + len));
+            }
+            b.commit_staged();
+            let steps = b.steps();
+            prop_assert!(
+                steps.len() == oracle.len()
+                    && steps.iter().zip(oracle.iter()).all(|(x, y)| {
+                        x.0 == y.0 && x.1.to_bits() == y.1.to_bits()
+                    }),
+                "batched build diverged from the insert path"
+            );
         }
     }
 }

@@ -66,7 +66,10 @@ props! {
             &queue_refs,
             now,
             total_nodes,
-            &BackfillConfig { max_reservations: backfill_max },
+            &BackfillConfig {
+                max_reservations: backfill_max,
+                ..BackfillConfig::default()
+            },
         );
 
         // Rebuild the full plan into a fresh profile and check it.
@@ -149,4 +152,109 @@ props! {
         // Head job always fits on an empty cluster.
         prop_assert!(out.start_now.contains(&queue[0].id));
     }
+
+    /// An "unbounded" reservation budget and a budget of exactly the
+    /// queue length decide identically — the budget can only bind when
+    /// there are more delayed jobs than reservations allowed.
+    fn backfill_budget_queue_len_equals_unbounded(
+        queue_spec in prop::vec((1usize..8, 10u64..500), 1..30),
+        running_spec in prop::vec((1usize..8, 10u64..500), 0..4),
+        total_nodes in 8usize..20,
+    ) {
+        let (queue, running_jobs) = build_workload(&queue_spec, &running_spec, total_nodes);
+        let queue_refs: Vec<&SchedJob> = queue.iter().collect();
+        let views: Vec<RunningView<'_>> = running_jobs
+            .iter()
+            .map(|(j, s)| RunningView { job: j, started: *s })
+            .collect();
+        let [unbounded, bounded] = [usize::MAX, queue.len()].map(|budget| {
+            backfill_pass(
+                &mut NodePolicy::default(),
+                &views,
+                &queue_refs,
+                SimTime::from_secs(200),
+                total_nodes,
+                &BackfillConfig {
+                    max_reservations: budget,
+                    ..BackfillConfig::default()
+                },
+            )
+        });
+        prop_assert_eq!(unbounded, bounded, "budget = queue.len() diverged");
+    }
+
+    /// Fits-now pruning never changes a round's outcome: the pruned and
+    /// unpruned walks agree decision-for-decision on randomized deep
+    /// queues under tight reservation budgets. This is the release-mode
+    /// oracle comparison — `prune_fits_now = false` IS the unpruned walk,
+    /// so the check runs under `cfg(test)` rather than only as the
+    /// `debug_assertions` assert inside the pass.
+    fn pruned_walk_matches_unpruned(
+        queue_spec in prop::vec((1usize..8, 10u64..500), 1..40),
+        running_spec in prop::vec((1usize..8, 10u64..500), 0..4),
+        total_nodes in 8usize..20,
+        backfill_max in prop_oneof![Just(0usize), Just(1), Just(3)],
+    ) {
+        let (queue, running_jobs) = build_workload(&queue_spec, &running_spec, total_nodes);
+        let queue_refs: Vec<&SchedJob> = queue.iter().collect();
+        let views: Vec<RunningView<'_>> = running_jobs
+            .iter()
+            .map(|(j, s)| RunningView { job: j, started: *s })
+            .collect();
+        let [pruned, unpruned] = [true, false].map(|prune| {
+            backfill_pass(
+                &mut NodePolicy::default(),
+                &views,
+                &queue_refs,
+                SimTime::from_secs(200),
+                total_nodes,
+                &BackfillConfig {
+                    max_reservations: backfill_max,
+                    prune_fits_now: prune,
+                },
+            )
+        });
+        prop_assert_eq!(pruned, unpruned, "pruned walk diverged");
+    }
+}
+
+/// Shared queue/running-set builder for the outcome-equivalence props:
+/// queued jobs at `now = 200 s`, running jobs started at t=0 with limits
+/// long enough not to overrun.
+fn build_workload(
+    queue_spec: &[(usize, u64)],
+    running_spec: &[(usize, u64)],
+    total_nodes: usize,
+) -> (Vec<SchedJob>, Vec<(SchedJob, SimTime)>) {
+    let queue = queue_spec
+        .iter()
+        .enumerate()
+        .map(|(i, &(nodes, limit))| {
+            SchedJob::new(
+                JobId(i as u64),
+                format!("q{i}"),
+                nodes.min(total_nodes),
+                SimDuration::from_secs(limit),
+                SimTime::ZERO,
+            )
+        })
+        .collect();
+    let mut running_jobs: Vec<(SchedJob, SimTime)> = Vec::new();
+    let mut used = 0usize;
+    for (i, &(nodes, limit)) in running_spec.iter().enumerate() {
+        if used + nodes <= total_nodes {
+            used += nodes;
+            running_jobs.push((
+                SchedJob::new(
+                    JobId(1000 + i as u64),
+                    format!("r{i}"),
+                    nodes,
+                    SimDuration::from_secs(200 + limit),
+                    SimTime::ZERO,
+                ),
+                SimTime::ZERO,
+            ));
+        }
+    }
+    (queue, running_jobs)
 }
